@@ -1,0 +1,463 @@
+package ooc
+
+// One benchmark per experiment in DESIGN.md §5. Each iteration runs a
+// single representative trial of the experiment's workload; the full
+// sweeps and tables come from `go run ./cmd/oocbench`. Benchmarks assert
+// safety on every iteration, so `go test -bench=.` doubles as a stress
+// run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ooc/internal/adapters"
+	"ooc/internal/bench"
+	"ooc/internal/benor"
+	"ooc/internal/core"
+	"ooc/internal/multivalue"
+	"ooc/internal/netsim"
+	"ooc/internal/phaseking"
+	"ooc/internal/raft"
+	"ooc/internal/sharedmem"
+	"ooc/internal/sim"
+	"ooc/internal/workload"
+)
+
+// benchBenOr runs one full Ben-Or consensus (decomposed or monolithic).
+func benchBenOr(b *testing.B, decomposed bool, n int, split workload.Split) {
+	b.Helper()
+	tFaults := (n - 1) / 2
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		rng := sim.NewRNG(seed)
+		inputs := workload.BinaryInputs(split, n, rng)
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		decisions := make([]core.Decision[int], n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				if decomposed {
+					decisions[id], errs[id] = benor.RunDecomposed(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+						core.WithMaxRounds(5000))
+				} else {
+					decisions[id], errs[id] = benor.RunMonolithic(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id], 5000, nil)
+				}
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		for id := 0; id < n; id++ {
+			if errs[id] != nil {
+				b.Fatalf("node %d: %v", id, errs[id])
+			}
+			if decisions[id].Value != decisions[0].Value {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+}
+
+// BenchmarkE1BenOrDecomposed: experiment E1 — the paper's Ben-Or under
+// Algorithm 1 (n=5, adversarial half split).
+func BenchmarkE1BenOrDecomposed(b *testing.B) {
+	benchBenOr(b, true, 5, workload.SplitHalf)
+}
+
+// BenchmarkE2BenOrBaseline: experiment E2 — the monolithic baseline on
+// the identical workload.
+func BenchmarkE2BenOrBaseline(b *testing.B) {
+	benchBenOr(b, false, 5, workload.SplitHalf)
+}
+
+// benchPhaseKing runs one full Phase-King consensus.
+func benchPhaseKing(b *testing.B, baseline bool) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		cfg := phaseking.Config{
+			N: 7, T: 2,
+			Inputs:    map[int]int{2: 0, 3: 1, 4: 0, 5: 1, 6: 0},
+			Byzantine: map[int]phaseking.Adversary{0: phaseking.EquivocateAdversary{}, 1: phaseking.SilentAdversary{}},
+			Rule:      phaseking.RuleFinalValue,
+		}
+		var (
+			res phaseking.Result
+			err error
+		)
+		if baseline {
+			res, err = phaseking.RunBaseline(ctx, cfg)
+		} else {
+			res, err = phaseking.Run(ctx, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Errs) > 0 || !res.AgreementHolds() {
+			b.Fatalf("bad run: %+v", res)
+		}
+	}
+}
+
+// BenchmarkE3PhaseKing: experiment E3 — decomposed Phase-King (n=7, t=2,
+// equivocate + silent Byzantine kings).
+func BenchmarkE3PhaseKing(b *testing.B) {
+	benchPhaseKing(b, false)
+}
+
+// BenchmarkE4PhaseKingBaseline: experiment E4 — the monolithic baseline.
+func BenchmarkE4PhaseKingBaseline(b *testing.B) {
+	benchPhaseKing(b, true)
+}
+
+// BenchmarkEAKingDiversion: experiment EA — the attack run (decomposed,
+// first-commit rule). Each iteration reproduces the agreement violation.
+func BenchmarkEAKingDiversion(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := phaseking.Run(ctx, phaseking.Config{
+			N: 4, T: 1,
+			Inputs:    map[int]int{1: 0, 2: 0, 3: 1},
+			Byzantine: map[int]phaseking.Adversary{0: phaseking.KingDiversionAdversary()},
+			Rule:      phaseking.RuleFirstCommit,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AgreementHolds() {
+			b.Fatal("attack did not reproduce")
+		}
+	}
+}
+
+// BenchmarkE5RaftConsensus: experiment E5 — Raft single-decree consensus
+// via D&S (n=3, real timers on the simulated network).
+func BenchmarkE5RaftConsensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const n = 3
+		seed := uint64(i) + 1
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		rng := sim.NewRNG(seed)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		cns := make([]*raft.ConsensusNode, n)
+		for id := 0; id < n; id++ {
+			cn, err := raft.NewConsensusNode(raft.Config{
+				ID:                id,
+				Endpoint:          nw.Node(id),
+				RNG:               rng.Fork(uint64(id)),
+				ElectionTimeout:   20 * time.Millisecond,
+				HeartbeatInterval: 4 * time.Millisecond,
+			}, fmt.Sprintf("v%d", id))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cns[id] = cn
+		}
+		results := make([]any, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				results[id], _ = cns[id].Run(ctx)
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		for id := 1; id < n; id++ {
+			if results[id] != results[0] {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+}
+
+// BenchmarkE6RaftVAC: experiment E6 — the VAC view of Raft under the
+// generic template (n=3).
+func BenchmarkE6RaftVAC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const n = 3
+		seed := uint64(i) + 1
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		rng := sim.NewRNG(seed)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		decisions := make([]core.Decision[string], n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			node, err := raft.NewNode(raft.Config{
+				ID:                id,
+				Endpoint:          nw.Node(id),
+				RNG:               rng.Fork(uint64(id)),
+				ElectionTimeout:   20 * time.Millisecond,
+				HeartbeatInterval: 4 * time.Millisecond,
+				ManualCampaign:    true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(id int, node *raft.Node) {
+				defer wg.Done()
+				decisions[id], errs[id] = raft.RunVACConsensus[string](ctx, node, fmt.Sprintf("v%d", id))
+			}(id, node)
+		}
+		wg.Wait()
+		cancel()
+		for id := 0; id < n; id++ {
+			if errs[id] != nil {
+				b.Fatal(errs[id])
+			}
+			if decisions[id].Value != decisions[0].Value {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+}
+
+// BenchmarkE7VACFromAC: experiment E7 — one round of the Section 5
+// composite VAC over shared-memory ACs (n=8, concurrent).
+func BenchmarkE7VACFromAC(b *testing.B) {
+	const n = 8
+	rng := sim.NewRNG(3)
+	for i := 0; i < b.N; i++ {
+		store1 := adapters.NewSharedACStore(n)
+		store2 := adapters.NewSharedACStore(n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id, v int) {
+				defer wg.Done()
+				vac := adapters.NewVACFromACs[int](store1.Object(id), store2.Object(id))
+				if _, _, err := vac.Propose(context.Background(), v, 1); err != nil {
+					b.Error(err)
+				}
+			}(id, rng.Bit())
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkE8OutcomeClasses: experiment E8 — one instrumented Ben-Or run
+// per iteration, counting the three outcome classes.
+func BenchmarkE8OutcomeClasses(b *testing.B) {
+	const n, tFaults = 5, 2
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		rng := sim.NewRNG(seed)
+		inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		log := &adapters.OutcomeLog{}
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				vac, err := benor.NewVAC(nw.Node(id), tFaults)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				iv := adapters.NewInstrumentedVAC[int](vac, log, id)
+				if _, err := core.RunVAC[int](ctx, iv, benor.NewReconciliator(rng.Fork(uint64(id))), inputs[id],
+					core.WithMaxRounds(5000)); err != nil {
+					b.Error(err)
+				}
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		if len(log.All()) == 0 {
+			b.Fatal("no outcomes recorded")
+		}
+	}
+}
+
+// BenchmarkE9RoundsToConsensus: experiment E9 — one half-split Ben-Or run
+// at n=9 per iteration (the heavy tail the distribution table measures).
+func BenchmarkE9RoundsToConsensus(b *testing.B) {
+	benchBenOr(b, true, 9, workload.SplitHalf)
+}
+
+// BenchmarkE10MessageComplexity: experiment E10 — one traced Ben-Or run,
+// reporting messages per operation.
+func BenchmarkE10MessageComplexity(b *testing.B) {
+	tbl, err := bench.RunE10(bench.Suite{Trials: 1, Quick: true, BaseSeed: uint64(b.N)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	b.ResetTimer()
+	benchBenOr(b, true, 5, workload.SplitHalf)
+}
+
+// BenchmarkF1RaftMessageCodec: figure F1 — encode/decode all four Raft
+// message formats.
+func BenchmarkF1RaftMessageCodec(b *testing.B) {
+	for _, wt := range raft.WireTypes() {
+		gob.Register(wt)
+	}
+	msgs := []any{
+		raft.RequestVote{Term: 3, CandidateID: 1, LastLogIndex: 7, LastLogTerm: 2},
+		raft.RequestVoteReply{Term: 3, VoteGranted: true},
+		raft.AppendEntries{Term: 3, LeaderID: 1, PrevLogIndex: 6, PrevLogTerm: 2,
+			Entries: []raft.Entry{{Term: 3, Command: raft.DS{Value: "v"}}}, LeaderCommit: 6},
+		raft.AppendEntriesReply{Term: 3, Success: true, MatchIndex: 7},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		dec := gob.NewDecoder(&buf)
+		for _, m := range msgs {
+			env := struct{ Payload any }{Payload: m}
+			if err := enc.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+			var out struct{ Payload any }
+			if err := dec.Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkF2RaftStateMachine: figure F2 — a full election + replication
+// cycle driving every Figure 2 state variable.
+func BenchmarkF2RaftStateMachine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const n = 3
+		seed := uint64(i) + 1
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		rng := sim.NewRNG(seed)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		kvs := make([]*raft.KVStore, n)
+		nodes := make([]*raft.Node, n)
+		for id := 0; id < n; id++ {
+			kvs[id] = &raft.KVStore{}
+			node, err := raft.NewNode(raft.Config{
+				ID:                id,
+				Endpoint:          nw.Node(id),
+				RNG:               rng.Fork(uint64(id)),
+				ElectionTimeout:   20 * time.Millisecond,
+				HeartbeatInterval: 4 * time.Millisecond,
+				StateMachine:      kvs[id],
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes[id] = node
+			node.Start(ctx)
+		}
+		var idx int
+		for {
+			leader := -1
+			for id, node := range nodes {
+				if node.Status().State == raft.Leader {
+					leader = id
+				}
+			}
+			if leader >= 0 {
+				var err error
+				idx, err = nodes[leader].Propose(ctx, raft.KVCommand{Op: "set", Key: "k", Value: "v"})
+				if err == nil {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		for done := false; !done; {
+			done = true
+			for _, kv := range kvs {
+				if kv.AppliedIndex() < idx {
+					done = false
+				}
+			}
+			if !done {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		cancel()
+	}
+}
+
+// BenchmarkE11Multivalued: experiment E11 — one multivalued consensus
+// run (n=5, 3-value domain) per iteration.
+func BenchmarkE11Multivalued(b *testing.B) {
+	const n, tFaults = 5, 2
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		rng := sim.NewRNG(seed)
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		inputs := make([]string, n)
+		for id := range inputs {
+			inputs[id] = fmt.Sprintf("v%d", rng.Intn(3))
+		}
+		decisions := make([]core.Decision[string], n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				decisions[id], errs[id] = multivalue.RunDecomposed[string](ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+					core.WithMaxRounds(20000))
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		for id := 0; id < n; id++ {
+			if errs[id] != nil {
+				b.Fatal(errs[id])
+			}
+			if decisions[id].Value != decisions[0].Value {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+}
+
+// BenchmarkE12SharedMemory: experiment E12 — one shared-memory consensus
+// (Gafni AC + probabilistic-write conciliator, n=8) per iteration.
+func BenchmarkE12SharedMemory(b *testing.B) {
+	const n = 8
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		rng := sim.NewRNG(seed)
+		cons := sharedmem.NewConsensus(n)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		decisions := make([]core.Decision[int], n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				decisions[id], errs[id] = cons.Run(ctx, id, rng.Fork(uint64(id)), id%2,
+					core.WithMaxRounds(20000))
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		for id := 0; id < n; id++ {
+			if errs[id] != nil {
+				b.Fatal(errs[id])
+			}
+			if decisions[id].Value != decisions[0].Value {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command oocbench regenerates the reproduction's experiment tables (see
+// DESIGN.md §5 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	oocbench                  # run the full matrix
+//	oocbench -experiment E1   # run one experiment
+//	oocbench -quick -trials 5 # trimmed sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ooc/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id to run (default: all)")
+		trials     = flag.Int("trials", 20, "seeded repetitions per configuration")
+		quick      = flag.Bool("quick", false, "trim parameter sweeps")
+		seed       = flag.Uint64("seed", 0, "base seed offset")
+	)
+	flag.Parse()
+	if err := run(*experiment, *trials, *quick, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "oocbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, trials int, quick bool, seed uint64) error {
+	suite := bench.Suite{Trials: trials, Quick: quick, BaseSeed: seed}
+	experiments := bench.Experiments()
+	if experiment != "" {
+		e, ok := bench.ByID(experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; known: %s", experiment, knownIDs())
+		}
+		experiments = []bench.Experiment{e}
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		fmt.Printf("running %s: %s ...\n", e.ID, e.Name)
+		tbl, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		tbl.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func knownIDs() string {
+	out := ""
+	for i, e := range bench.Experiments() {
+		if i > 0 {
+			out += ", "
+		}
+		out += e.ID
+	}
+	return out
+}

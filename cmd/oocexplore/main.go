@@ -1,0 +1,159 @@
+// Command oocexplore sweeps a protocol's schedule space: it runs many
+// seeded trials in parallel (each seed fixes the adversarial delivery
+// order, input split, and crash timing) and reports aggregated safety
+// results. A randomized stand-in for model checking.
+//
+// Usage:
+//
+//	oocexplore -protocol benor -n 5 -seeds 500
+//	oocexplore -protocol multivalue -n 7 -seeds 200 -parallelism 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ooc/internal/benor"
+	"ooc/internal/checker"
+	"ooc/internal/core"
+	"ooc/internal/explore"
+	"ooc/internal/multivalue"
+	"ooc/internal/netsim"
+	"ooc/internal/sim"
+	"ooc/internal/workload"
+)
+
+func main() {
+	var (
+		protocol    = flag.String("protocol", "benor", "benor | multivalue")
+		n           = flag.Int("n", 5, "number of processors")
+		seeds       = flag.Int("seeds", 200, "number of seeded schedules to explore")
+		firstSeed   = flag.Uint64("first-seed", 0, "first seed of the range")
+		parallelism = flag.Int("parallelism", 0, "concurrent trials (0 = GOMAXPROCS)")
+		stopEarly   = flag.Bool("stop-on-violation", true, "abort at the first violated schedule")
+	)
+	flag.Parse()
+	if err := run(*protocol, *n, *seeds, *firstSeed, *parallelism, *stopEarly); err != nil {
+		fmt.Fprintf(os.Stderr, "oocexplore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(protocol string, n, seeds int, firstSeed uint64, parallelism int, stopEarly bool) error {
+	var scenario explore.Scenario
+	switch protocol {
+	case "benor":
+		scenario = benOrScenario(n)
+	case "multivalue":
+		scenario = multivalueScenario(n)
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+	start := time.Now()
+	rep, err := explore.Sweep(context.Background(), scenario, explore.Options{
+		Seeds:           seeds,
+		FirstSeed:       firstSeed,
+		Parallelism:     parallelism,
+		StopOnViolation: stopEarly,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s n=%d: explored %d schedules in %v: %v\n",
+		protocol, n, rep.Runs, time.Since(start).Round(time.Millisecond), rep.String())
+	for i, v := range rep.Violations {
+		fmt.Printf("  violation %d: %v\n", i+1, v)
+		if i == 9 {
+			fmt.Printf("  ... and %d more\n", len(rep.Violations)-10)
+			break
+		}
+	}
+	if !rep.Ok() {
+		return fmt.Errorf("%d safety violations", len(rep.Violations))
+	}
+	return nil
+}
+
+// benOrScenario: seeded Ben-Or with random split and a seed-derived crash
+// plan.
+func benOrScenario(n int) explore.Scenario {
+	tFaults := (n - 1) / 2
+	return func(ctx context.Context, seed uint64) checker.Report {
+		rng := sim.NewRNG(seed)
+		inputs := workload.BinaryInputs(workload.SplitRandom, n, rng)
+		crashes := workload.CrashPlan(n, int(seed)%(tFaults+1), rng)
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		crashed := map[int]bool{}
+		for _, c := range crashes {
+			crashed[c.Node] = true
+			if c.AfterSends == 0 {
+				nw.Crash(c.Node)
+			} else {
+				nw.CrashAfterSends(c.Node, c.AfterSends)
+			}
+		}
+		runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		defer cancel()
+		results := make([]checker.RunOutcome[int], n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				d, err := benor.RunDecomposed(runCtx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+					core.WithMaxRounds(5000))
+				if err == nil {
+					results[id] = checker.RunOutcome[int]{Node: id, Decided: true, Value: d.Value, Round: d.Round}
+				} else {
+					results[id] = checker.RunOutcome[int]{Node: id}
+				}
+			}(id)
+		}
+		wg.Wait()
+		var live []checker.RunOutcome[int]
+		for _, o := range results {
+			if !crashed[o.Node] {
+				live = append(live, o)
+			}
+		}
+		return checker.CheckConsensus(live, workload.InputsToMap(inputs), len(crashes) == 0)
+	}
+}
+
+// multivalueScenario: seeded multivalued consensus over a 3-value domain.
+func multivalueScenario(n int) explore.Scenario {
+	tFaults := (n - 1) / 2
+	return func(ctx context.Context, seed uint64) checker.Report {
+		rng := sim.NewRNG(seed)
+		inputs := make([]string, n)
+		inputMap := make(map[int]string, n)
+		for id := range inputs {
+			inputs[id] = fmt.Sprintf("v%d", rng.Intn(3))
+			inputMap[id] = inputs[id]
+		}
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		defer cancel()
+		results := make([]checker.RunOutcome[string], n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				d, err := multivalue.RunDecomposed[string](runCtx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+					core.WithMaxRounds(20000))
+				if err == nil {
+					results[id] = checker.RunOutcome[string]{Node: id, Decided: true, Value: d.Value, Round: d.Round}
+				} else {
+					results[id] = checker.RunOutcome[string]{Node: id}
+				}
+			}(id)
+		}
+		wg.Wait()
+		return checker.CheckConsensus(results, inputMap, true)
+	}
+}

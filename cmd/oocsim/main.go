@@ -1,0 +1,355 @@
+// Command oocsim runs one consensus configuration on the in-memory
+// simulator and prints every processor's decision plus run statistics.
+//
+// Usage:
+//
+//	oocsim -protocol benor -n 5 -crashes 2 -split half -seed 7
+//	oocsim -protocol phaseking -n 7 -byzantine 2 -adversary equivocate
+//	oocsim -protocol raft -n 5 -crash-leader
+//	oocsim -protocol multivalue -n 7 -crashes 2
+//	oocsim -protocol sharedmem -n 8 -split half
+//
+// Pass -dump to print the full message-level trace after the run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ooc/internal/benor"
+	"ooc/internal/core"
+	"ooc/internal/multivalue"
+	"ooc/internal/netsim"
+	"ooc/internal/phaseking"
+	"ooc/internal/raft"
+	"ooc/internal/sharedmem"
+	"ooc/internal/sim"
+	"ooc/internal/trace"
+	"ooc/internal/workload"
+)
+
+func main() {
+	var (
+		protocol    = flag.String("protocol", "benor", "benor | phaseking | raft | multivalue | sharedmem")
+		n           = flag.Int("n", 5, "number of processors")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		split       = flag.String("split", "half", "unanimous0 | unanimous1 | half | dissent | random")
+		crashes     = flag.Int("crashes", 0, "benor: processors to crash")
+		byzantine   = flag.Int("byzantine", 0, "phaseking: Byzantine processor count")
+		adversary   = flag.String("adversary", "silent", "phaseking: silent | equivocate | garbage | random")
+		rule        = flag.String("rule", "final", "phaseking: first | final decision rule")
+		crashLeader = flag.Bool("crash-leader", false, "raft: crash the first elected leader")
+		maxRounds   = flag.Int("max-rounds", 2000, "round bound for the asynchronous protocols")
+		dump        = flag.Bool("dump", false, "print the message-level trace after the run")
+	)
+	flag.Parse()
+	dumpTrace = *dump
+	if err := run(*protocol, *n, *seed, *split, *crashes, *byzantine, *adversary, *rule, *crashLeader, *maxRounds); err != nil {
+		fmt.Fprintf(os.Stderr, "oocsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// dumpTrace controls whether runs print their full trace.
+var dumpTrace bool
+
+// finishTrace prints stats and, with -dump, the event log.
+func finishTrace(rec *trace.Recorder) {
+	tr := rec.Snapshot()
+	fmt.Printf("stats: %v\n", trace.Summarize(tr))
+	if dumpTrace {
+		fmt.Println("trace:")
+		if err := trace.Dump(os.Stdout, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "dump: %v\n", err)
+		}
+	}
+}
+
+func parseSplit(s string) (workload.Split, error) {
+	switch s {
+	case "unanimous0":
+		return workload.SplitUnanimous0, nil
+	case "unanimous1":
+		return workload.SplitUnanimous1, nil
+	case "half":
+		return workload.SplitHalf, nil
+	case "dissent":
+		return workload.SplitOneDissent, nil
+	case "random":
+		return workload.SplitRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown split %q", s)
+	}
+}
+
+func run(protocol string, n int, seed uint64, splitName string, crashes, byzantine int, adversary, rule string, crashLeader bool, maxRounds int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	switch protocol {
+	case "benor":
+		return runBenOr(ctx, n, seed, splitName, crashes, maxRounds)
+	case "phaseking":
+		return runPhaseKing(ctx, n, seed, splitName, byzantine, adversary, rule)
+	case "raft":
+		return runRaft(ctx, n, seed, crashLeader)
+	case "multivalue":
+		return runMultivalue(ctx, n, seed, crashes, maxRounds)
+	case "sharedmem":
+		return runSharedMem(ctx, n, seed, splitName, maxRounds)
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+}
+
+func runBenOr(ctx context.Context, n int, seed uint64, splitName string, crashes, maxRounds int) error {
+	split, err := parseSplit(splitName)
+	if err != nil {
+		return err
+	}
+	tFaults := (n - 1) / 2
+	if crashes > tFaults {
+		return fmt.Errorf("%d crashes exceed tolerance t=%d", crashes, tFaults)
+	}
+	rec := trace.NewRecorder()
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	rng := sim.NewRNG(seed)
+	inputs := workload.BinaryInputs(split, n, rng)
+	for _, spec := range workload.CrashPlan(n, crashes, rng) {
+		if spec.AfterSends == 0 {
+			nw.Crash(spec.Node)
+		} else {
+			nw.CrashAfterSends(spec.Node, spec.AfterSends)
+		}
+		fmt.Printf("injecting crash: node %d after %d sends\n", spec.Node, spec.AfterSends)
+	}
+	type out struct {
+		d   core.Decision[int]
+		err error
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d, err := benor.RunDecomposed(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+				core.WithMaxRounds(maxRounds))
+			outs[id] = out{d, err}
+		}(id)
+	}
+	wg.Wait()
+	fmt.Printf("ben-or: n=%d t=%d split=%v inputs=%v\n", n, tFaults, split, inputs)
+	for id, o := range outs {
+		if o.err != nil {
+			fmt.Printf("  p%d: error: %v\n", id, o.err)
+			continue
+		}
+		fmt.Printf("  p%d: decided %d in round %d\n", id, o.d.Value, o.d.Round)
+	}
+	finishTrace(rec)
+	return nil
+}
+
+func runPhaseKing(ctx context.Context, n int, seed uint64, splitName string, byzantine int, adversary, rule string) error {
+	split, err := parseSplit(splitName)
+	if err != nil {
+		return err
+	}
+	rng := sim.NewRNG(seed)
+	inputs := workload.BinaryInputs(split, n, rng)
+	byz := map[int]phaseking.Adversary{}
+	for id := 0; id < byzantine; id++ {
+		switch adversary {
+		case "silent":
+			byz[id] = phaseking.SilentAdversary{}
+		case "equivocate":
+			byz[id] = phaseking.EquivocateAdversary{}
+		case "garbage":
+			byz[id] = phaseking.GarbageAdversary{}
+		case "random":
+			byz[id] = &phaseking.RandomAdversary{RNG: rng.Fork(uint64(id))}
+		default:
+			return fmt.Errorf("unknown adversary %q", adversary)
+		}
+	}
+	decRule := phaseking.RuleFinalValue
+	if rule == "first" {
+		decRule = phaseking.RuleFirstCommit
+	}
+	rec := trace.NewRecorder()
+	byzIDs := make([]int, 0, len(byz))
+	for id := range byz {
+		byzIDs = append(byzIDs, id)
+	}
+	cfg := phaseking.Config{
+		N: n, T: (n - 1) / 3,
+		Inputs:    workload.InputsToMap(inputs, byzIDs...),
+		Byzantine: byz,
+		Rule:      decRule,
+		Recorder:  rec,
+	}
+	res, err := phaseking.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase-king: n=%d t=%d byzantine=%d adversary=%s rule=%s inputs=%v\n",
+		n, cfg.T, byzantine, adversary, rule, inputs)
+	ids := make([]int, 0, len(res.Decisions))
+	for id := range res.Decisions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		d := res.Decisions[id]
+		fmt.Printf("  p%d: decided %d in round %d\n", id, d.Value, d.Round)
+	}
+	for id, err := range res.Errs {
+		fmt.Printf("  p%d: error: %v\n", id, err)
+	}
+	fmt.Printf("agreement: %v\n", res.AgreementHolds())
+	finishTrace(rec)
+	return nil
+}
+
+func runRaft(ctx context.Context, n int, seed uint64, crashLeader bool) error {
+	rec := trace.NewRecorder()
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	rng := sim.NewRNG(seed)
+	cns := make([]*raft.ConsensusNode, n)
+	for id := 0; id < n; id++ {
+		cn, err := raft.NewConsensusNode(raft.Config{
+			ID:                id,
+			Endpoint:          nw.Node(id),
+			RNG:               rng.Fork(uint64(id)),
+			ElectionTimeout:   50 * time.Millisecond,
+			HeartbeatInterval: 10 * time.Millisecond,
+		}, fmt.Sprintf("value-of-p%d", id))
+		if err != nil {
+			return err
+		}
+		cns[id] = cn
+	}
+	if crashLeader {
+		go func() {
+			for ctx.Err() == nil {
+				for id := range cns {
+					if cns[id].Node().Status().State == raft.Leader {
+						fmt.Printf("injecting crash of leader p%d\n", id)
+						nw.Crash(id)
+						return
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	results := make([]any, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id], errs[id] = cns[id].Run(ctx)
+		}(id)
+	}
+	wg.Wait()
+	fmt.Printf("raft single-decree: n=%d crash-leader=%v elapsed=%v\n", n, crashLeader, time.Since(start).Round(time.Millisecond))
+	for id := range cns {
+		if errs[id] != nil {
+			fmt.Printf("  p%d: error: %v (crashed=%v)\n", id, errs[id], nw.Crashed(id))
+			continue
+		}
+		fmt.Printf("  p%d: decided %v (term %d)\n", id, results[id], cns[id].Node().Status().Term)
+	}
+	finishTrace(rec)
+	return nil
+}
+
+func runMultivalue(ctx context.Context, n int, seed uint64, crashes, maxRounds int) error {
+	tFaults := (n - 1) / 2
+	if crashes > tFaults {
+		return fmt.Errorf("%d crashes exceed tolerance t=%d", crashes, tFaults)
+	}
+	rec := trace.NewRecorder()
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	rng := sim.NewRNG(seed)
+	inputs := make([]string, n)
+	for id := range inputs {
+		inputs[id] = fmt.Sprintf("candidate-%d", id)
+	}
+	for _, spec := range workload.CrashPlan(n, crashes, rng) {
+		if spec.AfterSends == 0 {
+			nw.Crash(spec.Node)
+		} else {
+			nw.CrashAfterSends(spec.Node, spec.AfterSends)
+		}
+		fmt.Printf("injecting crash: node %d after %d sends\n", spec.Node, spec.AfterSends)
+	}
+	type out struct {
+		d   core.Decision[string]
+		err error
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d, err := multivalue.RunDecomposed[string](ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+				core.WithMaxRounds(maxRounds*10))
+			outs[id] = out{d, err}
+		}(id)
+	}
+	wg.Wait()
+	fmt.Printf("multivalue: n=%d t=%d inputs=%v\n", n, tFaults, inputs)
+	for id, o := range outs {
+		if o.err != nil {
+			fmt.Printf("  p%d: error: %v\n", id, o.err)
+			continue
+		}
+		fmt.Printf("  p%d: decided %q in round %d\n", id, o.d.Value, o.d.Round)
+	}
+	finishTrace(rec)
+	return nil
+}
+
+func runSharedMem(ctx context.Context, n int, seed uint64, splitName string, maxRounds int) error {
+	split, err := parseSplit(splitName)
+	if err != nil {
+		return err
+	}
+	rng := sim.NewRNG(seed)
+	inputs := workload.BinaryInputs(split, n, rng)
+	cons := sharedmem.NewConsensus(n)
+	type out struct {
+		d   core.Decision[int]
+		err error
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d, err := cons.Run(ctx, id, rng.Fork(uint64(id)), inputs[id], core.WithMaxRounds(maxRounds*10))
+			outs[id] = out{d, err}
+		}(id)
+	}
+	wg.Wait()
+	fmt.Printf("shared-memory: n=%d split=%v inputs=%v\n", n, split, inputs)
+	for id, o := range outs {
+		if o.err != nil {
+			fmt.Printf("  p%d: error: %v\n", id, o.err)
+			continue
+		}
+		fmt.Printf("  p%d: decided %d in round %d\n", id, o.d.Value, o.d.Round)
+	}
+	return nil
+}

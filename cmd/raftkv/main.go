@@ -1,0 +1,230 @@
+// Command raftkv is a replicated key-value store over real TCP — the
+// kind of application log Raft was designed for (paper §4.3).
+//
+// Demo mode runs a whole cluster in one process on loopback sockets,
+// exercises replication and leader failover, and exits:
+//
+//	raftkv -demo -n 5
+//
+// Server mode runs one node of a multi-process cluster and accepts
+// commands on stdin (set k v | del k | get k | status | quit):
+//
+//	raftkv -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ooc/internal/raft"
+	"ooc/internal/sim"
+	"ooc/internal/transport"
+)
+
+func main() {
+	var (
+		demo  = flag.Bool("demo", false, "run an in-process demo cluster and exit")
+		n     = flag.Int("n", 3, "demo cluster size")
+		id    = flag.Int("id", 0, "this node's index into -peers")
+		peers = flag.String("peers", "", "comma-separated cluster addresses, indexed by node id")
+	)
+	flag.Parse()
+	transport.Register(raft.WireTypes()...)
+
+	var err error
+	if *demo {
+		err = runDemo(*n)
+	} else {
+		err = runServer(*id, strings.Split(*peers, ","))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64) (*raft.Node, error) {
+	return raft.NewNode(raft.Config{
+		ID:                id,
+		Endpoint:          ep,
+		RNG:               sim.NewRNG(seed).Fork(uint64(id)),
+		ElectionTimeout:   150 * time.Millisecond,
+		HeartbeatInterval: 30 * time.Millisecond,
+		StateMachine:      kv,
+	})
+}
+
+func runDemo(n int) error {
+	fmt.Printf("starting %d-node raft kv cluster on loopback TCP...\n", n)
+	eps, err := transport.NewLocalCluster(n)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	kvs := make([]*raft.KVStore, n)
+	nodes := make([]*raft.Node, n)
+	for id := 0; id < n; id++ {
+		kvs[id] = &raft.KVStore{}
+		node, err := startNode(id, eps[id], kvs[id], 42)
+		if err != nil {
+			return err
+		}
+		nodes[id] = node
+		node.Start(ctx)
+		fmt.Printf("  node %d listening on %s\n", id, eps[id].Addr())
+	}
+
+	leader, err := awaitLeader(ctx, nodes, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("leader elected: node %d (term %d)\n", leader, nodes[leader].Status().Term)
+
+	var lastIdx int
+	for i := 0; i < 5; i++ {
+		key, val := fmt.Sprintf("key%d", i), fmt.Sprintf("val%d", i)
+		lastIdx, err = nodes[leader].Propose(ctx, raft.KVCommand{Op: "set", Key: key, Value: val})
+		if err != nil {
+			return fmt.Errorf("propose %s: %w", key, err)
+		}
+	}
+	if err := awaitApplied(ctx, kvs, lastIdx, nil); err != nil {
+		return err
+	}
+	fmt.Printf("replicated %d entries to all nodes; node %d sees %v\n", lastIdx, n-1, kvs[n-1].Snapshot())
+
+	fmt.Printf("crashing leader node %d...\n", leader)
+	_ = eps[leader].Close()
+	dead := map[int]bool{leader: true}
+	leader2, err := awaitLeader(ctx, nodes, dead)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover complete: new leader node %d (term %d)\n", leader2, nodes[leader2].Status().Term)
+	lastIdx, err = nodes[leader2].Propose(ctx, raft.KVCommand{Op: "set", Key: "post-failover", Value: "ok"})
+	if err != nil {
+		return err
+	}
+	if err := awaitApplied(ctx, kvs, lastIdx, dead); err != nil {
+		return err
+	}
+	fmt.Printf("post-failover write committed; node %d sees %v\n", leader2, kvs[leader2].Snapshot())
+	fmt.Println("demo ok")
+	return nil
+}
+
+func awaitLeader(ctx context.Context, nodes []*raft.Node, dead map[int]bool) (int, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return -1, fmt.Errorf("no leader: %w", err)
+		}
+		for id, node := range nodes {
+			if dead[id] {
+				continue
+			}
+			if node.Status().State == raft.Leader {
+				return id, nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func awaitApplied(ctx context.Context, kvs []*raft.KVStore, index int, dead map[int]bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("replication incomplete: %w", err)
+		}
+		done := true
+		for id, kv := range kvs {
+			if dead[id] {
+				continue
+			}
+			if kv.AppliedIndex() < index {
+				done = false
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func runServer(id int, peers []string) error {
+	if len(peers) < 1 || peers[0] == "" {
+		return fmt.Errorf("-peers is required in server mode (or use -demo)")
+	}
+	ep, err := transport.Listen(id, peers)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	kv := &raft.KVStore{}
+	node, err := startNode(id, ep, kv, uint64(time.Now().UnixNano()))
+	if err != nil {
+		return err
+	}
+	node.Start(ctx)
+	fmt.Printf("node %d serving on %s; commands: set k v | del k | get k | status | quit\n", id, ep.Addr())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "set", "del":
+			cmd := raft.KVCommand{Op: "set"}
+			if fields[0] == "del" {
+				cmd.Op = "delete"
+			}
+			if len(fields) < 2 {
+				fmt.Println("usage: set k v | del k")
+				continue
+			}
+			cmd.Key = fields[1]
+			if len(fields) > 2 {
+				cmd.Value = fields[2]
+			}
+			if idx, err := node.Propose(ctx, cmd); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Printf("proposed at index %d\n", idx)
+			}
+		case "get":
+			if len(fields) < 2 {
+				fmt.Println("usage: get k")
+				continue
+			}
+			if v, ok := kv.Get(fields[1]); ok {
+				fmt.Println(v)
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "status":
+			fmt.Println(node.Status())
+		case "quit":
+			return nil
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+	}
+	return sc.Err()
+}

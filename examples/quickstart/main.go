@@ -1,0 +1,75 @@
+// Quickstart: binary consensus among 5 processors (2 of which crash!) on
+// the in-memory simulated network, using the paper's decomposition —
+// Ben-Or's vacillate-adopt-commit object and a coin-flip reconciliator
+// under the generic Algorithm 1 template.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ooc/internal/benor"
+	"ooc/internal/core"
+	"ooc/internal/netsim"
+	"ooc/internal/sim"
+)
+
+func main() {
+	const (
+		n       = 5 // processors
+		tFaults = 2 // crash tolerance: 2t < n
+	)
+	inputs := []int{0, 1, 0, 1, 1}
+
+	// The simulated asynchronous network: the seed fixes the adversarial
+	// delivery order, so runs are reproducible.
+	nw := netsim.New(n, netsim.WithSeed(2024))
+	rng := sim.NewRNG(7)
+
+	// Fault injection: processor 4 dies instantly, processor 3 dies in
+	// the middle of its first broadcast.
+	nw.Crash(4)
+	nw.CrashAfterSends(3, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	decisions := make([]core.Decision[int], n)
+	errs := make([]error, n)
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each processor runs: rounds of VAC.Propose, falling back to
+			// the coin-flip reconciliator whenever it vacillates.
+			decisions[id], errs[id] = benor.RunDecomposed(
+				ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+				core.WithMaxRounds(1000),
+			)
+		}(id)
+	}
+	wg.Wait()
+
+	fmt.Printf("inputs: %v (processors 3 and 4 crash)\n", inputs)
+	agreed := -1
+	for id := 0; id < n; id++ {
+		if errs[id] != nil {
+			fmt.Printf("  p%d: crashed (%v)\n", id, errs[id])
+			continue
+		}
+		d := decisions[id]
+		fmt.Printf("  p%d: decided %d in round %d\n", id, d.Value, d.Round)
+		if agreed == -1 {
+			agreed = d.Value
+		} else if agreed != d.Value {
+			log.Fatalf("agreement violated: %d vs %d", agreed, d.Value)
+		}
+	}
+	fmt.Printf("consensus value: %d\n", agreed)
+}

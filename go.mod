@@ -1,0 +1,3 @@
+module ooc
+
+go 1.22

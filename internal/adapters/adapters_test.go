@@ -1,0 +1,386 @@
+package adapters
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ooc/internal/benor"
+	"ooc/internal/core"
+	"ooc/internal/netsim"
+	"ooc/internal/sim"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// acResult is one processor's AC output in a concurrent round.
+type acResult struct {
+	conf core.Confidence
+	val  int
+	err  error
+}
+
+// concurrentACRound invokes obj(id).Propose(inputs[id], round) on n
+// goroutines and returns the outcomes.
+func concurrentACRound(t *testing.T, n int, obj func(id int) core.AdoptCommit[int], inputs []int, round int) []acResult {
+	t.Helper()
+	outs := make([]acResult, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, v, err := obj(id).Propose(ctxT(t), inputs[id], round)
+			outs[id] = acResult{conf: c, val: v, err: err}
+		}(id)
+	}
+	wg.Wait()
+	return outs
+}
+
+// checkACProperties asserts coherence, convergence, and validity of a set
+// of adopt-commit outcomes.
+func checkACProperties(t *testing.T, outs []acResult, inputs []int) {
+	t.Helper()
+	isInput := func(v int) bool {
+		for _, in := range inputs {
+			if in == v {
+				return true
+			}
+		}
+		return false
+	}
+	commitVal, sawCommit := 0, false
+	for id, o := range outs {
+		if o.err != nil {
+			t.Fatalf("processor %d: %v", id, o.err)
+		}
+		if o.conf != core.Adopt && o.conf != core.Commit {
+			t.Fatalf("processor %d: AC returned %v", id, o.conf)
+		}
+		if !isInput(o.val) {
+			t.Fatalf("validity: processor %d returned %d, inputs %v", id, o.val, inputs)
+		}
+		if o.conf == core.Commit {
+			if sawCommit && o.val != commitVal {
+				t.Fatalf("two commits with values %d and %d", o.val, commitVal)
+			}
+			sawCommit, commitVal = true, o.val
+		}
+	}
+	if sawCommit {
+		for id, o := range outs {
+			if o.val != commitVal {
+				t.Fatalf("coherence: processor %d carries %d, committed %d", id, o.val, commitVal)
+			}
+		}
+	}
+	unanimous := true
+	for _, in := range inputs {
+		if in != inputs[0] {
+			unanimous = false
+		}
+	}
+	if unanimous {
+		for id, o := range outs {
+			if o.conf != core.Commit || o.val != inputs[0] {
+				t.Fatalf("convergence: processor %d got (%v, %d) on unanimous %d", id, o.conf, o.val, inputs[0])
+			}
+		}
+	}
+}
+
+func TestSharedACProperties(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(7)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Bit()
+		}
+		store := NewSharedACStore(n)
+		outs := concurrentACRound(t, n, store.Object, inputs, 1)
+		checkACProperties(t, outs, inputs)
+	}
+}
+
+func TestSharedACUnanimousCommits(t *testing.T) {
+	const n = 6
+	store := NewSharedACStore(n)
+	inputs := []int{1, 1, 1, 1, 1, 1}
+	outs := concurrentACRound(t, n, store.Object, inputs, 1)
+	for id, o := range outs {
+		if o.conf != core.Commit || o.val != 1 {
+			t.Fatalf("processor %d: (%v, %d)", id, o.conf, o.val)
+		}
+	}
+}
+
+func TestSharedACSeparateRoundsIndependent(t *testing.T) {
+	store := NewSharedACStore(2)
+	// Round 1 is contended; round 2 is unanimous and must still commit.
+	outs1 := concurrentACRound(t, 2, store.Object, []int{0, 1}, 1)
+	checkACProperties(t, outs1, []int{0, 1})
+	outs2 := concurrentACRound(t, 2, store.Object, []int{1, 1}, 2)
+	for _, o := range outs2 {
+		if o.conf != core.Commit || o.val != 1 {
+			t.Fatalf("round 2 not fresh: %+v", o)
+		}
+	}
+}
+
+func TestSharedACContextCancelled(t *testing.T) {
+	store := NewSharedACStore(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := store.Object(0).Propose(ctx, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// vacResult is one processor's VAC output.
+type vacResult struct {
+	conf core.Confidence
+	val  int
+	err  error
+}
+
+// checkVACProperties asserts the paper's VAC guarantees.
+func checkVACProperties(t *testing.T, outs []vacResult, inputs []int) {
+	t.Helper()
+	isInput := func(v int) bool {
+		for _, in := range inputs {
+			if in == v {
+				return true
+			}
+		}
+		return false
+	}
+	var (
+		sawCommit, sawAdopt bool
+		commitVal, adoptVal int
+		unanimous           = true
+	)
+	for _, in := range inputs {
+		if in != inputs[0] {
+			unanimous = false
+		}
+	}
+	for id, o := range outs {
+		if o.err != nil {
+			t.Fatalf("processor %d: %v", id, o.err)
+		}
+		if !o.conf.Valid() {
+			t.Fatalf("processor %d: invalid confidence %v", id, o.conf)
+		}
+		if !isInput(o.val) {
+			t.Fatalf("validity: processor %d returned %d, inputs %v", id, o.val, inputs)
+		}
+		switch o.conf {
+		case core.Commit:
+			if sawCommit && o.val != commitVal {
+				t.Fatalf("two commits: %d and %d", o.val, commitVal)
+			}
+			sawCommit, commitVal = true, o.val
+		case core.Adopt:
+			if sawAdopt && o.val != adoptVal {
+				t.Fatalf("two adopts: %d and %d", o.val, adoptVal)
+			}
+			sawAdopt, adoptVal = true, o.val
+		}
+	}
+	if sawCommit {
+		for id, o := range outs {
+			if o.conf == core.Vacillate {
+				t.Fatalf("coherence A&C: processor %d vacillates beside a commit", id)
+			}
+			if o.val != commitVal {
+				t.Fatalf("coherence A&C: processor %d carries %d, committed %d", id, o.val, commitVal)
+			}
+		}
+	}
+	if sawCommit && sawAdopt && commitVal != adoptVal {
+		t.Fatalf("adopt value %d != commit value %d", adoptVal, commitVal)
+	}
+	if unanimous {
+		for id, o := range outs {
+			if o.conf != core.Commit || o.val != inputs[0] {
+				t.Fatalf("convergence: processor %d got (%v, %d)", id, o.conf, o.val)
+			}
+		}
+	}
+}
+
+func TestVACFromACsProperties(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := sim.NewRNG(seed + 1000)
+		n := 2 + rng.Intn(7)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Bit()
+		}
+		store1 := NewSharedACStore(n)
+		store2 := NewSharedACStore(n)
+		outs := make([]vacResult, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				vac := NewVACFromACs[int](store1.Object(id), store2.Object(id))
+				c, v, err := vac.Propose(ctxT(t), inputs[id], 1)
+				outs[id] = vacResult{conf: c, val: v, err: err}
+			}(id)
+		}
+		wg.Wait()
+		checkVACProperties(t, outs, inputs)
+	}
+}
+
+func TestVACFromACsRejectsVacillatingAC(t *testing.T) {
+	bad := core.ACFunc[int](func(_ context.Context, v int, _ int) (core.Confidence, int, error) {
+		return core.Vacillate, v, nil
+	})
+	good := core.ACFunc[int](func(_ context.Context, v int, _ int) (core.Confidence, int, error) {
+		return core.Adopt, v, nil
+	})
+	vac := NewVACFromACs[int](bad, good)
+	if _, _, err := vac.Propose(context.Background(), 1, 1); !errors.Is(err, core.ErrContractViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	vac = NewVACFromACs[int](good, bad)
+	if _, _, err := vac.Propose(context.Background(), 1, 1); !errors.Is(err, core.ErrContractViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVACFromACsConsensusUnderTemplate(t *testing.T) {
+	// Full circle: a consensus built from two shared-memory ACs per round
+	// plus a coin-flip reconciliator, under the paper's Algorithm 1.
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := sim.NewRNG(seed)
+		n := 3 + int(seed)%4
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Bit()
+		}
+		store1 := NewSharedACStore(n)
+		store2 := NewSharedACStore(n)
+		decisions := make([]core.Decision[int], n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				vac := NewVACFromACs[int](store1.Object(id), store2.Object(id))
+				rec := benor.NewReconciliator(rng.Fork(uint64(id)))
+				decisions[id], errs[id] = core.RunVAC[int](ctxT(t), vac, rec, inputs[id],
+					core.WithMaxRounds(500))
+			}(id)
+		}
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				t.Fatalf("seed %d processor %d: %v", seed, id, err)
+			}
+		}
+		for id := 1; id < n; id++ {
+			if decisions[id].Value != decisions[0].Value {
+				t.Fatalf("seed %d: agreement violated: %v", seed, decisions)
+			}
+		}
+		valid := false
+		for _, in := range inputs {
+			if in == decisions[0].Value {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("seed %d: validity violated: decided %d of %v", seed, decisions[0].Value, inputs)
+		}
+	}
+}
+
+func TestACFromVACProperties(t *testing.T) {
+	// Wrap Ben-Or's message-passing VAC as an AC and check AC guarantees
+	// hold across adversarial schedules.
+	for seed := uint64(0); seed < 15; seed++ {
+		const n, tFaults = 5, 2
+		rng := sim.NewRNG(seed + 77)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Bit()
+		}
+		nw := netsim.New(n, netsim.WithSeed(seed))
+		outs := concurrentACRound(t, n, func(id int) core.AdoptCommit[int] {
+			vac, err := benor.NewVAC(nw.Node(id), tFaults)
+			if err != nil {
+				t.Error(err)
+				return nil
+			}
+			return NewACFromVAC[int](vac)
+		}, inputs, 1)
+		checkACProperties(t, outs, inputs)
+	}
+}
+
+func TestACFromVACPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	vac := core.VACFunc[int](func(_ context.Context, v int, _ int) (core.Confidence, int, error) {
+		return 0, 0, boom
+	})
+	ac := NewACFromVAC[int](vac)
+	if _, _, err := ac.Propose(context.Background(), 1, 1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutcomeLogAndClassCounts(t *testing.T) {
+	var log OutcomeLog
+	log.Add(Outcome{Node: 0, Round: 1, Conf: core.Vacillate, Value: 0})
+	log.Add(Outcome{Node: 1, Round: 1, Conf: core.Adopt, Value: 1})
+	log.Add(Outcome{Node: 2, Round: 2, Conf: core.Commit, Value: 1})
+	if got := len(log.All()); got != 3 {
+		t.Fatalf("All() has %d entries", got)
+	}
+	per := log.PerRound()
+	if len(per[1]) != 2 || len(per[2]) != 1 {
+		t.Fatalf("PerRound = %v", per)
+	}
+	counts := ClassCounts(log.All())
+	if counts[core.Vacillate] != 1 || counts[core.Adopt] != 1 || counts[core.Commit] != 1 {
+		t.Fatalf("ClassCounts = %v", counts)
+	}
+}
+
+func TestInstrumentedVACRecords(t *testing.T) {
+	var log OutcomeLog
+	inner := core.VACFunc[int](func(_ context.Context, v int, round int) (core.Confidence, int, error) {
+		if round < 2 {
+			return core.Vacillate, v, nil
+		}
+		return core.Commit, v, nil
+	})
+	iv := NewInstrumentedVAC[int](inner, &log, 9)
+	rec := core.ReconciliatorFunc[int](func(_ context.Context, _ core.Confidence, v int, _ int) (int, error) {
+		return v, nil
+	})
+	if _, err := core.RunVAC[int](context.Background(), iv, rec, 1); err != nil {
+		t.Fatal(err)
+	}
+	outs := log.All()
+	if len(outs) != 2 {
+		t.Fatalf("recorded %d outcomes, want 2", len(outs))
+	}
+	if outs[0].Conf != core.Vacillate || outs[1].Conf != core.Commit || outs[1].Node != 9 {
+		t.Fatalf("outcomes = %+v", outs)
+	}
+}

@@ -1,0 +1,130 @@
+package adapters
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ooc/internal/core"
+)
+
+// SharedACStore is a wait-free adopt-commit object for the shared-memory
+// crash model, following the two-array construction in Aspnes's "A
+// modular approach to shared-memory consensus":
+//
+//	AC(v):
+//	  A[i] ← v
+//	  if snapshot(A) contains only v:  B[i] ← (commit-bid, v)
+//	  else:                            B[i] ← (no-bid, v)
+//	  s ← snapshot(B)
+//	  if s contains only commit-bids, all with value v: return (commit, v)
+//	  if s contains a commit-bid with value v:          return (adopt, v)
+//	  else:                                             return (adopt, own v)
+//
+// Atomic snapshots are modelled by a mutex, which is a legitimate
+// strengthening of the snapshot object the construction assumes. One
+// store serves all rounds; each round gets fresh arrays.
+//
+// Two processors never write the same slot, and at most one value can win
+// a commit-bid per round (two unanimity snapshots of A with different
+// values would each have to precede the other's write — impossible), which
+// is what makes the object coherent.
+type SharedACStore struct {
+	n  int
+	mu sync.Mutex
+	// rounds maps the round number to its two arrays.
+	rounds map[int]*acRound
+}
+
+type acRound struct {
+	proposals []*any
+	bids      []*bid
+}
+
+type bid struct {
+	commit bool
+	value  any
+}
+
+// NewSharedACStore creates a store for n processors.
+func NewSharedACStore(n int) *SharedACStore {
+	if n <= 0 {
+		panic(fmt.Sprintf("adapters: invalid processor count %d", n))
+	}
+	return &SharedACStore{n: n, rounds: make(map[int]*acRound)}
+}
+
+func (s *SharedACStore) round(m int) *acRound {
+	r, ok := s.rounds[m]
+	if !ok {
+		r = &acRound{proposals: make([]*any, s.n), bids: make([]*bid, s.n)}
+		s.rounds[m] = r
+	}
+	return r
+}
+
+// Object returns processor id's handle on the shared object.
+func (s *SharedACStore) Object(id int) core.AdoptCommit[int] {
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("adapters: id %d out of range [0,%d)", id, s.n))
+	}
+	return &sharedAC{store: s, id: id}
+}
+
+type sharedAC struct {
+	store *SharedACStore
+	id    int
+}
+
+var _ core.AdoptCommit[int] = (*sharedAC)(nil)
+
+// Propose implements core.AdoptCommit.
+func (a *sharedAC) Propose(ctx context.Context, v int, round int) (core.Confidence, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	s := a.store
+
+	// Write the proposal and snapshot A atomically.
+	s.mu.Lock()
+	r := s.round(round)
+	vv := any(v)
+	r.proposals[a.id] = &vv
+	unanimous := true
+	for _, p := range r.proposals {
+		if p != nil && *p != vv {
+			unanimous = false
+		}
+	}
+	r.bids[a.id] = &bid{commit: unanimous, value: v}
+	s.mu.Unlock()
+
+	// Snapshot B in a separate atomic step, so other processors' phase-1
+	// writes may interleave between our two phases as in the real
+	// snapshot-based construction.
+	s.mu.Lock()
+	var (
+		allCommit  = true
+		someCommit *bid
+	)
+	for _, b := range r.bids {
+		if b == nil {
+			continue
+		}
+		if b.commit {
+			someCommit = b
+		} else {
+			allCommit = false
+		}
+	}
+	s.mu.Unlock()
+
+	switch {
+	case allCommit && someCommit != nil:
+		return core.Commit, someCommit.value.(int), nil
+	case someCommit != nil:
+		return core.Adopt, someCommit.value.(int), nil
+	default:
+		return core.Adopt, v, nil
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID:      "X1",
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("wide-cell-value", "x")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"X1 — demo", "long_column", "2.50", "wide-cell-value", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s stats
+	if s.mean() != 0 || s.max() != 0 || s.percentile(0.5) != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.add(v)
+	}
+	if s.mean() != 3 {
+		t.Fatalf("mean = %v", s.mean())
+	}
+	if s.max() != 5 {
+		t.Fatalf("max = %v", s.max())
+	}
+	if s.percentile(0) != 1 || s.percentile(1) != 5 || s.percentile(0.5) != 3 {
+		t.Fatalf("percentiles = %v %v %v", s.percentile(0), s.percentile(0.5), s.percentile(1))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e1"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+// TestAllExperimentsQuick runs the entire matrix in quick mode: every
+// experiment must complete and report zero violations (EA deliberately
+// reports the broken row inside its table, not as an error).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix skipped in -short")
+	}
+	s := QuickSuite()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			tbl.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatalf("%s rendered nothing", e.ID)
+			}
+		})
+	}
+}
+
+func TestEAOutcomeShape(t *testing.T) {
+	tbl, err := RunEA(QuickSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("EA has %d rows", len(tbl.Rows))
+	}
+	// Row 0: decomposed + first-commit must be BROKEN (the finding);
+	// rows 1-2 must HOLD.
+	if tbl.Rows[0][3] != "BROKEN" {
+		t.Fatalf("first-commit row = %v, attack did not reproduce", tbl.Rows[0])
+	}
+	if tbl.Rows[1][3] != "HOLDS" || tbl.Rows[2][3] != "HOLDS" {
+		t.Fatalf("safe rules broken: %v / %v", tbl.Rows[1], tbl.Rows[2])
+	}
+}

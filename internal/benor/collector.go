@@ -1,0 +1,109 @@
+package benor
+
+import (
+	"context"
+	"fmt"
+
+	"ooc/internal/msgnet"
+)
+
+// collector demultiplexes the endpoint's inbound stream into per-round,
+// per-phase buckets. Asynchrony means a processor may receive messages
+// for rounds it has not reached yet (buffered) or has already left
+// (discarded), and crash-tolerant counting must be per-sender so network
+// duplication cannot inflate thresholds.
+type collector struct {
+	node     msgnet.Endpoint
+	reports  map[int]map[int]Report // round -> sender -> message
+	ratifies map[int]map[int]Ratify
+	floor    int // rounds below this are dead and pruned
+}
+
+func newCollector(node msgnet.Endpoint) *collector {
+	return &collector{
+		node:     node,
+		reports:  make(map[int]map[int]Report),
+		ratifies: make(map[int]map[int]Ratify),
+	}
+}
+
+// advance discards all state for rounds below round.
+func (c *collector) advance(round int) {
+	if round <= c.floor {
+		return
+	}
+	c.floor = round
+	for r := range c.reports {
+		if r < round {
+			delete(c.reports, r)
+		}
+	}
+	for r := range c.ratifies {
+		if r < round {
+			delete(c.ratifies, r)
+		}
+	}
+}
+
+// absorb files one inbound message into its bucket.
+func (c *collector) absorb(m msgnet.Message) error {
+	switch p := m.Payload.(type) {
+	case Report:
+		if p.Round < c.floor {
+			return nil
+		}
+		bucket, ok := c.reports[p.Round]
+		if !ok {
+			bucket = make(map[int]Report)
+			c.reports[p.Round] = bucket
+		}
+		if _, dup := bucket[m.From]; !dup {
+			bucket[m.From] = p
+		}
+	case Ratify:
+		if p.Round < c.floor {
+			return nil
+		}
+		bucket, ok := c.ratifies[p.Round]
+		if !ok {
+			bucket = make(map[int]Ratify)
+			c.ratifies[p.Round] = bucket
+		}
+		if _, dup := bucket[m.From]; !dup {
+			bucket[m.From] = p
+		}
+	default:
+		return fmt.Errorf("benor: unexpected message type %T from %d", m.Payload, m.From)
+	}
+	return nil
+}
+
+// waitReports blocks until at least k distinct senders' phase-1 messages
+// for round are buffered, then returns them.
+func (c *collector) waitReports(ctx context.Context, round, k int) (map[int]Report, error) {
+	for len(c.reports[round]) < k {
+		m, err := c.node.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("benor: waiting for %d reports in round %d: %w", k, round, err)
+		}
+		if err := c.absorb(m); err != nil {
+			return nil, err
+		}
+	}
+	return c.reports[round], nil
+}
+
+// waitRatifies blocks until at least k distinct senders' phase-2 messages
+// for round are buffered, then returns them.
+func (c *collector) waitRatifies(ctx context.Context, round, k int) (map[int]Ratify, error) {
+	for len(c.ratifies[round]) < k {
+		m, err := c.node.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("benor: waiting for %d ratifies in round %d: %w", k, round, err)
+		}
+		if err := c.absorb(m); err != nil {
+			return nil, err
+		}
+	}
+	return c.ratifies[round], nil
+}

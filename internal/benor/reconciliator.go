@@ -1,0 +1,60 @@
+package benor
+
+import (
+	"context"
+
+	"ooc/internal/core"
+	"ooc/internal/sim"
+)
+
+// Reconciliator is the paper's Algorithm 6: the stalemate breaker for
+// Ben-Or is nothing but a fair coin flip.
+//
+//	Reconciliator(X, σ, m): return CoinFlip()
+//
+// Lemma 4: since any value has non-zero probability, eventually all
+// vacillating processors flip the same side as the adopt values (or as
+// each other), after which VAC convergence commits — the weak-agreement
+// guarantee. No validity machinery is needed: for binary consensus with
+// at least two processors proposing, both 0 and 1 are valid outputs; and
+// in the degenerate all-same-input case VAC convergence commits in round
+// one before the reconciliator is ever invoked.
+type Reconciliator struct {
+	rng *sim.RNG
+}
+
+var _ core.Reconciliator[int] = (*Reconciliator)(nil)
+
+// NewReconciliator returns a coin-flip reconciliator driven by rng.
+func NewReconciliator(rng *sim.RNG) *Reconciliator {
+	return &Reconciliator{rng: rng}
+}
+
+// Reconcile implements core.Reconciliator by flipping a fair coin.
+func (r *Reconciliator) Reconcile(_ context.Context, _ core.Confidence, _ int, _ int) (int, error) {
+	return r.rng.Bit(), nil
+}
+
+// BiasedReconciliator flips a coin that lands 1 with probability p. The
+// ablation experiments use it to study how coin bias changes expected
+// rounds to consensus; p=0.5 recovers the paper's Algorithm 6.
+type BiasedReconciliator struct {
+	rng *sim.RNG
+	p   float64
+}
+
+var _ core.Reconciliator[int] = (*BiasedReconciliator)(nil)
+
+// NewBiasedReconciliator returns a reconciliator whose coin shows 1 with
+// probability p.
+func NewBiasedReconciliator(rng *sim.RNG, p float64) *BiasedReconciliator {
+	return &BiasedReconciliator{rng: rng, p: p}
+}
+
+// Reconcile implements core.Reconciliator.
+func (r *BiasedReconciliator) Reconcile(_ context.Context, _ core.Confidence, _ int, _ int) (int, error) {
+	if r.rng.Float64() < r.p {
+		return 1, nil
+	}
+	return 0, nil
+}

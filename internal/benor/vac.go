@@ -1,0 +1,128 @@
+package benor
+
+import (
+	"context"
+	"fmt"
+
+	"ooc/internal/core"
+	"ooc/internal/msgnet"
+)
+
+// VAC is the paper's Algorithm 5: Ben-Or's round body packaged as a
+// vacillate-adopt-commit object.
+//
+//	VAC(v, m):
+//	  send <1, v> to all
+//	  wait to receive n−t <1, *> messages
+//	  if received more than n/2 <1, w> messages (same w):
+//	      send <2, w, ratify> to all
+//	  else:
+//	      send <2, ?> to all
+//	  wait to receive n−t <2, *> messages
+//	  if received more than t <2, u, ratify>:  return (commit, u)
+//	  elif received a  <2, u, ratify>:         return (adopt, u)
+//	  else:                                    return (vacillate, v)
+//
+// The object is stateful per processor: it owns the endpoint's inbound
+// stream and buffers messages across rounds. It is not safe for
+// concurrent Propose calls (the template is strictly sequential).
+//
+// On commit the object broadcasts its round-(m+1) messages before
+// returning, so that processors that halt after deciding (as the paper's
+// template prescribes) do not starve slower processors of the n−t quorum
+// they need to finish the next round. Lemma 5's coherence guarantees that
+// after a round-m commit every live processor enters round m+1 with the
+// committed value, so one echo round is exactly enough for them all to
+// commit at m+1.
+type VAC struct {
+	node msgnet.Endpoint
+	t    int
+	col  *collector
+}
+
+var _ core.VacillateAdoptCommit[int] = (*VAC)(nil)
+
+// NewVAC returns the Ben-Or VAC for this processor. t is the crash-fault
+// tolerance and must satisfy 2t < n.
+func NewVAC(node msgnet.Endpoint, t int) (*VAC, error) {
+	if n := node.N(); 2*t >= n {
+		return nil, fmt.Errorf("benor: t=%d violates 2t < n with n=%d", t, n)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("benor: negative fault bound t=%d", t)
+	}
+	return &VAC{node: node, t: t, col: newCollector(node)}, nil
+}
+
+// Propose implements core.VacillateAdoptCommit for binary values.
+func (va *VAC) Propose(ctx context.Context, v int, round int) (core.Confidence, int, error) {
+	if v != 0 && v != 1 {
+		return 0, 0, fmt.Errorf("benor: non-binary input %d", v)
+	}
+	n := va.node.N()
+	quorum := n - va.t
+	va.col.advance(round)
+
+	// Phase 1: report the current preference.
+	if err := va.node.Broadcast(Report{Round: round, Value: v}); err != nil {
+		return 0, 0, fmt.Errorf("benor: round %d phase 1: %w", round, err)
+	}
+	reports, err := va.col.waitReports(ctx, round, quorum)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts := [2]int{}
+	for _, r := range reports {
+		if r.Value == 0 || r.Value == 1 {
+			counts[r.Value]++
+		}
+	}
+
+	// Phase 2: ratify a strict majority value, or ask "?".
+	out := Ratify{Round: round}
+	for w := 0; w <= 1; w++ {
+		if 2*counts[w] > n {
+			out.Value, out.HasValue = w, true
+		}
+	}
+	if err := va.node.Broadcast(out); err != nil {
+		return 0, 0, fmt.Errorf("benor: round %d phase 2: %w", round, err)
+	}
+	ratifies, err := va.col.waitRatifies(ctx, round, quorum)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	ratifyCount := [2]int{}
+	sawRatify := false
+	u := 0
+	for _, r := range ratifies {
+		if r.HasValue && (r.Value == 0 || r.Value == 1) {
+			ratifyCount[r.Value]++
+			sawRatify = true
+			u = r.Value
+		}
+	}
+
+	switch {
+	case ratifyCount[0] > va.t || ratifyCount[1] > va.t:
+		if ratifyCount[1] > va.t {
+			u = 1
+		} else {
+			u = 0
+		}
+		// Echo the next round before the template halts us (see type
+		// comment).
+		if err := va.node.Broadcast(Report{Round: round + 1, Value: u}); err != nil {
+			return 0, 0, fmt.Errorf("benor: round %d commit echo: %w", round, err)
+		}
+		if err := va.node.Broadcast(Ratify{Round: round + 1, Value: u, HasValue: true}); err != nil {
+			return 0, 0, fmt.Errorf("benor: round %d commit echo: %w", round, err)
+		}
+		return core.Commit, u, nil
+	case sawRatify:
+		return core.Adopt, u, nil
+	default:
+		return core.Vacillate, v, nil
+	}
+}

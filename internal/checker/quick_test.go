@@ -1,0 +1,68 @@
+package checker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ooc/internal/core"
+)
+
+// TestCheckConsensusDetectsDisagreementProperty: CheckConsensus flags
+// agreement violations exactly when two decided outcomes differ.
+func TestCheckConsensusDetectsDisagreementProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		inputs := map[int]int{}
+		outs := make([]RunOutcome[int], len(vals))
+		distinct := map[int]bool{}
+		for i, v := range vals {
+			value := int(v) % 3
+			outs[i] = RunOutcome[int]{Node: i, Decided: true, Value: value}
+			inputs[i] = value // every decided value is someone's input
+			distinct[value] = true
+		}
+		rep := CheckConsensus(outs, inputs, true)
+		hasAgreementViolation := false
+		for _, viol := range rep.Violations {
+			if viol.Property == "agreement" {
+				hasAgreementViolation = true
+			}
+		}
+		return hasAgreementViolation == (len(distinct) > 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckVACConvergenceProperty: on unanimous inputs, any outcome that
+// is not (Commit, input) is flagged, and all-(Commit, input) passes.
+func TestCheckVACConvergenceProperty(t *testing.T) {
+	f := func(confRaw []uint8, input bool) bool {
+		if len(confRaw) == 0 {
+			return true
+		}
+		v := 0
+		if input {
+			v = 1
+		}
+		inputs := map[int]int{}
+		outs := make([]ObjectOutcome[int], len(confRaw))
+		clean := true
+		for i, c := range confRaw {
+			conf := core.Confidence(int(c)%3 + 1)
+			outs[i] = ObjectOutcome[int]{Node: i, Conf: conf, Value: v}
+			inputs[i] = v
+			if conf != core.Commit {
+				clean = false
+			}
+		}
+		rep := CheckVACRound(outs, inputs)
+		return rep.Ok() == clean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

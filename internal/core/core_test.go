@@ -1,0 +1,374 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ooc/internal/trace"
+)
+
+func TestConfidenceString(t *testing.T) {
+	cases := map[Confidence]string{
+		Vacillate:      "vacillate",
+		Adopt:          "adopt",
+		Commit:         "commit",
+		Confidence(42): "Confidence(42)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestConfidenceValid(t *testing.T) {
+	for _, c := range []Confidence{Vacillate, Adopt, Commit} {
+		if !c.Valid() {
+			t.Errorf("%v.Valid() = false", c)
+		}
+	}
+	for _, c := range []Confidence{0, 4, -1} {
+		if c.Valid() {
+			t.Errorf("Confidence(%d).Valid() = true", int(c))
+		}
+	}
+}
+
+// scriptedVAC returns a fixed sequence of (confidence, value) pairs, then
+// commits the last value forever.
+type scriptedVAC struct {
+	script []struct {
+		x Confidence
+		v int
+	}
+	calls int
+}
+
+func (s *scriptedVAC) Propose(_ context.Context, v int, round int) (Confidence, int, error) {
+	i := s.calls
+	s.calls++
+	if i >= len(s.script) {
+		last := s.script[len(s.script)-1]
+		return Commit, last.v, nil
+	}
+	return s.script[i].x, s.script[i].v, nil
+}
+
+func fixedReconciliator(out int) ReconciliatorFunc[int] {
+	return func(_ context.Context, _ Confidence, _ int, _ int) (int, error) {
+		return out, nil
+	}
+}
+
+func TestRunVACCommitsImmediately(t *testing.T) {
+	vac := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Commit, v, nil
+	})
+	d, err := RunVAC[int](context.Background(), vac, fixedReconciliator(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != 7 || d.Round != 1 {
+		t.Fatalf("decision = %+v, want {7 1}", d)
+	}
+}
+
+func TestRunVACAdoptUpdatesPreference(t *testing.T) {
+	s := &scriptedVAC{script: []struct {
+		x Confidence
+		v int
+	}{{Adopt, 9}, {Commit, 9}}}
+	var sawRound2Input int
+	wrapped := VACFunc[int](func(ctx context.Context, v int, round int) (Confidence, int, error) {
+		if round == 2 {
+			sawRound2Input = v
+		}
+		return s.Propose(ctx, v, round)
+	})
+	d, err := RunVAC[int](context.Background(), wrapped, fixedReconciliator(-1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawRound2Input != 9 {
+		t.Fatalf("round 2 proposed %d, want adopted value 9", sawRound2Input)
+	}
+	if d.Value != 9 || d.Round != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestRunVACVacillateInvokesReconciliator(t *testing.T) {
+	s := &scriptedVAC{script: []struct {
+		x Confidence
+		v int
+	}{{Vacillate, 3}, {Commit, 5}}}
+	recCalled := 0
+	rec := ReconciliatorFunc[int](func(_ context.Context, conf Confidence, v int, round int) (int, error) {
+		recCalled++
+		if conf != Vacillate || v != 3 || round != 1 {
+			t.Errorf("reconciliator got (%v, %d, %d)", conf, v, round)
+		}
+		return 5, nil
+	})
+	d, err := RunVAC[int](context.Background(), s, rec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recCalled != 1 {
+		t.Fatalf("reconciliator called %d times, want 1", recCalled)
+	}
+	if d.Value != 5 || d.Round != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestRunVACMaxRoundsNoDecision(t *testing.T) {
+	vac := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Vacillate, v, nil
+	})
+	_, err := RunVAC[int](context.Background(), vac, fixedReconciliator(1), 0, WithMaxRounds(5))
+	if !errors.Is(err, ErrNoDecision) {
+		t.Fatalf("err = %v, want ErrNoDecision", err)
+	}
+}
+
+func TestRunVACInvalidConfidence(t *testing.T) {
+	vac := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Confidence(99), v, nil
+	})
+	_, err := RunVAC[int](context.Background(), vac, fixedReconciliator(1), 0)
+	if !errors.Is(err, ErrContractViolation) {
+		t.Fatalf("err = %v, want ErrContractViolation", err)
+	}
+}
+
+func TestRunVACKeepParticipating(t *testing.T) {
+	calls := 0
+	vac := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		calls++
+		return Commit, v, nil
+	})
+	d, err := RunVAC[int](context.Background(), vac, fixedReconciliator(0), 4,
+		WithMaxRounds(6), WithKeepParticipating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Fatalf("vac invoked %d times, want 6 (keep participating)", calls)
+	}
+	if d.Value != 4 || d.Round != 1 {
+		t.Fatalf("decision = %+v, want first-round decision", d)
+	}
+}
+
+func TestRunVACKeepParticipatingRequiresBound(t *testing.T) {
+	vac := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Commit, v, nil
+	})
+	_, err := RunVAC[int](context.Background(), vac, fixedReconciliator(0), 4, WithKeepParticipating())
+	if err == nil {
+		t.Fatal("KeepParticipating without MaxRounds accepted")
+	}
+}
+
+func TestRunVACContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	vac := VACFunc[int](func(_ context.Context, v int, round int) (Confidence, int, error) {
+		if round == 3 {
+			cancel()
+		}
+		return Vacillate, v, nil
+	})
+	_, err := RunVAC[int](ctx, vac, fixedReconciliator(1), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunVACPropagatesObjectErrors(t *testing.T) {
+	boom := errors.New("boom")
+	vac := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return 0, 0, boom
+	})
+	_, err := RunVAC[int](context.Background(), vac, fixedReconciliator(1), 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+
+	vacOK := VACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Vacillate, v, nil
+	})
+	rec := ReconciliatorFunc[int](func(_ context.Context, _ Confidence, _ int, _ int) (int, error) {
+		return 0, boom
+	})
+	_, err = RunVAC[int](context.Background(), vacOK, rec, 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("reconciliator err = %v, want wrapped boom", err)
+	}
+}
+
+type initVAC struct {
+	VACFunc[int]
+	inits int
+}
+
+func (i *initVAC) Init(context.Context) error {
+	i.inits++
+	return nil
+}
+
+func TestRunVACCallsInit(t *testing.T) {
+	iv := &initVAC{VACFunc: func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Commit, v, nil
+	}}
+	if _, err := RunVAC[int](context.Background(), iv, fixedReconciliator(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if iv.inits != 1 {
+		t.Fatalf("Init called %d times, want 1", iv.inits)
+	}
+}
+
+func TestRunVACInitError(t *testing.T) {
+	boom := errors.New("init failed")
+	failing := &failingInitter{err: boom}
+	_, err := RunVAC[int](context.Background(), failing, fixedReconciliator(0), 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want init error", err)
+	}
+}
+
+type failingInitter struct{ err error }
+
+func (f *failingInitter) Init(context.Context) error { return f.err }
+
+func (f *failingInitter) Propose(_ context.Context, v int, _ int) (Confidence, int, error) {
+	return Commit, v, nil
+}
+
+func TestRunVACRecordsTrace(t *testing.T) {
+	rec := trace.NewRecorder()
+	s := &scriptedVAC{script: []struct {
+		x Confidence
+		v int
+	}{{Vacillate, 1}, {Adopt, 2}, {Commit, 2}}}
+	d, err := RunVAC[int](context.Background(), s, fixedReconciliator(2), 1,
+		WithRecorder(rec, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != 2 || d.Round != 3 {
+		t.Fatalf("decision = %+v", d)
+	}
+	tr := rec.Snapshot()
+	st := trace.Summarize(tr)
+	if st.ObjectInvocations["vac"] != 3 {
+		t.Fatalf("vac invocations = %d, want 3", st.ObjectInvocations["vac"])
+	}
+	if st.ObjectInvocations["reconciliator"] != 1 {
+		t.Fatalf("reconciliator invocations = %d, want 1", st.ObjectInvocations["reconciliator"])
+	}
+	if st.Decisions != 1 || st.DecideRound != 3 {
+		t.Fatalf("decision accounting: %+v", st)
+	}
+	for _, ev := range tr.Events {
+		if ev.Node != 3 {
+			t.Fatalf("event attributed to node %d, want 3: %+v", ev.Node, ev)
+		}
+	}
+}
+
+// ---- RunAC (Algorithm 2) ----
+
+func TestRunACCommit(t *testing.T) {
+	ac := ACFunc[string](func(_ context.Context, v string, _ int) (Confidence, string, error) {
+		return Commit, v, nil
+	})
+	con := ConciliatorFunc[string](func(_ context.Context, _ Confidence, v string, _ int) (string, error) {
+		return v, nil
+	})
+	d, err := RunAC[string](context.Background(), ac, con, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != "x" || d.Round != 1 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestRunACAdoptRoutesThroughConciliator(t *testing.T) {
+	round := 0
+	ac := ACFunc[string](func(_ context.Context, v string, _ int) (Confidence, string, error) {
+		round++
+		if round == 1 {
+			return Adopt, v, nil
+		}
+		return Commit, v, nil
+	})
+	conCalls := 0
+	con := ConciliatorFunc[string](func(_ context.Context, conf Confidence, v string, m int) (string, error) {
+		conCalls++
+		if conf != Adopt || m != 1 {
+			t.Errorf("conciliator got (%v, %d)", conf, m)
+		}
+		return "king", nil
+	})
+	d, err := RunAC[string](context.Background(), ac, con, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conCalls != 1 {
+		t.Fatalf("conciliator called %d times", conCalls)
+	}
+	if d.Value != "king" || d.Round != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestRunACRejectsVacillate(t *testing.T) {
+	ac := ACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Vacillate, v, nil
+	})
+	con := ConciliatorFunc[int](func(_ context.Context, _ Confidence, v int, _ int) (int, error) {
+		return v, nil
+	})
+	_, err := RunAC[int](context.Background(), ac, con, 0)
+	if !errors.Is(err, ErrContractViolation) {
+		t.Fatalf("err = %v, want ErrContractViolation", err)
+	}
+}
+
+func TestRunACMaxRounds(t *testing.T) {
+	ac := ACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		return Adopt, v, nil
+	})
+	con := ConciliatorFunc[int](func(_ context.Context, _ Confidence, v int, _ int) (int, error) {
+		return v, nil
+	})
+	_, err := RunAC[int](context.Background(), ac, con, 0, WithMaxRounds(3))
+	if !errors.Is(err, ErrNoDecision) {
+		t.Fatalf("err = %v, want ErrNoDecision", err)
+	}
+}
+
+func TestRunACKeepParticipatingReturnsFirstDecision(t *testing.T) {
+	round := 0
+	ac := ACFunc[int](func(_ context.Context, v int, _ int) (Confidence, int, error) {
+		round++
+		return Commit, round, nil // commits a different value each round
+	})
+	con := ConciliatorFunc[int](func(_ context.Context, _ Confidence, v int, _ int) (int, error) {
+		return v, nil
+	})
+	d, err := RunAC[int](context.Background(), ac, con, 0, WithMaxRounds(4), WithKeepParticipating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != 1 || d.Round != 1 {
+		t.Fatalf("decision = %+v, want the first commit", d)
+	}
+	if round != 4 {
+		t.Fatalf("ac invoked %d times, want 4", round)
+	}
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"ooc/internal/core"
+)
+
+// ExampleRunVAC shows the paper's Algorithm 1 template driving a toy
+// object pair: a VAC that vacillates once and then commits whatever the
+// reconciliator suggested.
+func ExampleRunVAC() {
+	round := 0
+	vac := core.VACFunc[string](func(_ context.Context, v string, _ int) (core.Confidence, string, error) {
+		round++
+		if round == 1 {
+			return core.Vacillate, v, nil
+		}
+		return core.Commit, v, nil
+	})
+	rec := core.ReconciliatorFunc[string](func(_ context.Context, _ core.Confidence, _ string, _ int) (string, error) {
+		return "reconciled", nil
+	})
+
+	d, err := core.RunVAC[string](context.Background(), vac, rec, "initial")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("decided %q in round %d\n", d.Value, d.Round)
+	// Output: decided "reconciled" in round 2
+}
+
+// ExampleRunAC shows Algorithm 2, the template over Aspnes's earlier
+// adopt-commit / conciliator pair.
+func ExampleRunAC() {
+	round := 0
+	ac := core.ACFunc[int](func(_ context.Context, v int, _ int) (core.Confidence, int, error) {
+		round++
+		if round == 1 {
+			return core.Adopt, v, nil
+		}
+		return core.Commit, v, nil
+	})
+	con := core.ConciliatorFunc[int](func(_ context.Context, _ core.Confidence, v int, _ int) (int, error) {
+		return v + 41, nil
+	})
+
+	d, err := core.RunAC[int](context.Background(), ac, con, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("decided %d in round %d\n", d.Value, d.Round)
+	// Output: decided 42 in round 2
+}

@@ -1,0 +1,46 @@
+package core
+
+import "context"
+
+// VACFunc adapts a plain function to the VacillateAdoptCommit interface,
+// in the manner of http.HandlerFunc. It is the quickest way to plug a
+// custom agreement detector into the template (see examples/customobject).
+type VACFunc[V comparable] func(ctx context.Context, v V, round int) (Confidence, V, error)
+
+var _ VacillateAdoptCommit[int] = (VACFunc[int])(nil)
+
+// Propose implements VacillateAdoptCommit.
+func (f VACFunc[V]) Propose(ctx context.Context, v V, round int) (Confidence, V, error) {
+	return f(ctx, v, round)
+}
+
+// ACFunc adapts a plain function to the AdoptCommit interface.
+type ACFunc[V comparable] func(ctx context.Context, v V, round int) (Confidence, V, error)
+
+var _ AdoptCommit[int] = (ACFunc[int])(nil)
+
+// Propose implements AdoptCommit.
+func (f ACFunc[V]) Propose(ctx context.Context, v V, round int) (Confidence, V, error) {
+	return f(ctx, v, round)
+}
+
+// ReconciliatorFunc adapts a plain function to the Reconciliator
+// interface.
+type ReconciliatorFunc[V comparable] func(ctx context.Context, conf Confidence, v V, round int) (V, error)
+
+var _ Reconciliator[int] = (ReconciliatorFunc[int])(nil)
+
+// Reconcile implements Reconciliator.
+func (f ReconciliatorFunc[V]) Reconcile(ctx context.Context, conf Confidence, v V, round int) (V, error) {
+	return f(ctx, conf, v, round)
+}
+
+// ConciliatorFunc adapts a plain function to the Conciliator interface.
+type ConciliatorFunc[V comparable] func(ctx context.Context, conf Confidence, v V, round int) (V, error)
+
+var _ Conciliator[int] = (ConciliatorFunc[int])(nil)
+
+// Conciliate implements Conciliator.
+func (f ConciliatorFunc[V]) Conciliate(ctx context.Context, conf Confidence, v V, round int) (V, error) {
+	return f(ctx, conf, v, round)
+}

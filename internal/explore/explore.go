@@ -1,0 +1,81 @@
+// Package explore is a lightweight schedule explorer: it sweeps a
+// scenario across many seeds in parallel and aggregates the safety
+// reports. Each seed drives the simulated network's adversarial delivery
+// order (and any fault timing derived from it), so a sweep is a
+// randomized walk over the schedule space — the practical stand-in for
+// exhaustive model checking that keeps every safety property under test
+// across thousands of distinct interleavings.
+package explore
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ooc/internal/checker"
+)
+
+// Scenario runs one seeded trial and reports its safety checks. It must
+// be self-contained: every call builds its own network and processors.
+type Scenario func(ctx context.Context, seed uint64) checker.Report
+
+// Options tune a sweep.
+type Options struct {
+	// Seeds is the number of trials; seeds run from FirstSeed upward.
+	Seeds     int
+	FirstSeed uint64
+	// Parallelism bounds concurrent trials; 0 means GOMAXPROCS.
+	Parallelism int
+	// StopOnViolation aborts the sweep at the first violated trial,
+	// leaving Report.Runs at the number of completed trials.
+	StopOnViolation bool
+}
+
+// Sweep runs the scenario across the seed range and merges all reports.
+func Sweep(ctx context.Context, fn Scenario, opts Options) (checker.Report, error) {
+	if opts.Seeds <= 0 {
+		return checker.Report{}, fmt.Errorf("explore: Seeds must be positive, got %d", opts.Seeds)
+	}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	sweepCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu     sync.Mutex
+		merged checker.Report
+		wg     sync.WaitGroup
+	)
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < opts.Seeds; i++ {
+		if sweepCtx.Err() != nil {
+			break
+		}
+		seed := opts.FirstSeed + uint64(i)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if sweepCtx.Err() != nil {
+				return
+			}
+			rep := fn(sweepCtx, seed)
+			mu.Lock()
+			defer mu.Unlock()
+			merged.Merge(rep)
+			if opts.StopOnViolation && !rep.Ok() {
+				cancel()
+			}
+		}(seed)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return merged, fmt.Errorf("explore: sweep interrupted: %w", err)
+	}
+	return merged, nil
+}

@@ -1,0 +1,48 @@
+// Package msgnet defines the minimal message-passing surface every
+// protocol in this repository is written against. Two implementations
+// exist: the in-memory simulated network (internal/netsim) and the real
+// TCP transport (internal/transport). Protocol code never knows which one
+// it is running on.
+package msgnet
+
+import (
+	"context"
+	"errors"
+)
+
+// Message is one point-to-point message. Payload is protocol-defined; on
+// the wire transport it must be a registered, gob-encodable type.
+type Message struct {
+	From    int
+	To      int
+	Payload any
+}
+
+// Endpoint is one processor's handle on the network.
+//
+// Recv blocks until a message is available, the context is cancelled, or
+// the endpoint is crashed/closed. Send and Broadcast never block on the
+// receiver; delivery order between distinct messages is NOT guaranteed —
+// the simulated network deliberately reorders to model asynchrony.
+type Endpoint interface {
+	// ID is this processor's index in [0, N).
+	ID() int
+	// N is the total number of processors on the network.
+	N() int
+	// Send enqueues payload for processor to (sending to self is legal).
+	Send(to int, payload any) error
+	// Broadcast sends payload to every processor, including the sender.
+	// The paper's pseudocode "send to all" includes the sender itself.
+	Broadcast(payload any) error
+	// Recv returns the next delivered message.
+	Recv(ctx context.Context) (Message, error)
+}
+
+// Sentinel errors shared by all Endpoint implementations.
+var (
+	// ErrCrashed is returned once the local processor has been crashed by
+	// fault injection; all subsequent operations fail with it.
+	ErrCrashed = errors.New("msgnet: endpoint crashed")
+	// ErrClosed is returned after the network has been shut down.
+	ErrClosed = errors.New("msgnet: network closed")
+)

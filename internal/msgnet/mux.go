@@ -1,0 +1,185 @@
+package msgnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Mux multiplexes several independent protocol instances over one
+// Endpoint: each instance gets its own channel-tagged sub-endpoint, and a
+// dispatcher goroutine routes inbound messages by tag. This is how, for
+// example, several consensus instances share one TCP transport, or a
+// composite object runs two message-passing sub-objects over one
+// simulated node.
+//
+// Channels are matched by name across processors. Traffic arriving for a
+// channel that has not been created yet is buffered and handed over on
+// creation, so instances may start at different times on different
+// processors.
+type Mux struct {
+	parent Endpoint
+
+	mu      sync.Mutex
+	subs    map[string]*subEndpoint
+	backlog map[string][]Message
+	closed  bool
+	err     error
+	once    sync.Once
+}
+
+// tagged is the wire wrapper. For the TCP transport, register it with
+// transport.Register(msgnet.WireTypes()...).
+type tagged struct {
+	Channel string
+	Payload any
+}
+
+// WireTypes lists the mux's wire wrapper for gob registration.
+func WireTypes() []any { return []any{tagged{}} }
+
+// NewMux wraps parent and starts the dispatcher, which runs until ctx is
+// cancelled or the parent endpoint dies — give the Mux the same lifetime
+// as the node it serves. Once the dispatcher stops, every sub-endpoint's
+// Recv fails with the terminating error.
+func NewMux(ctx context.Context, parent Endpoint) *Mux {
+	m := &Mux{
+		parent:  parent,
+		subs:    make(map[string]*subEndpoint),
+		backlog: make(map[string][]Message),
+	}
+	go m.dispatch(ctx)
+	return m
+}
+
+// Channel returns the sub-endpoint for the named channel, creating it on
+// first use. Calling Channel twice with one name returns the same
+// endpoint.
+func (m *Mux) Channel(name string) Endpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.subs[name]; ok {
+		return s
+	}
+	s := &subEndpoint{
+		mux:     m,
+		channel: name,
+		notify:  make(chan struct{}, 1),
+	}
+	s.pending = append(s.pending, m.backlog[name]...)
+	delete(m.backlog, name)
+	m.subs[name] = s
+	return s
+}
+
+func (m *Mux) dispatch(ctx context.Context) {
+	for {
+		msg, err := m.parent.Recv(ctx)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		tag, ok := msg.Payload.(tagged)
+		if !ok {
+			continue // foreign traffic on the parent endpoint
+		}
+		routed := Message{From: msg.From, To: msg.To, Payload: tag.Payload}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			continue
+		}
+		s, ok := m.subs[tag.Channel]
+		if ok {
+			s.pending = append(s.pending, routed)
+		} else {
+			m.backlog[tag.Channel] = append(m.backlog[tag.Channel], routed)
+		}
+		m.mu.Unlock()
+		if ok {
+			s.wake()
+		}
+	}
+}
+
+// fail marks every sub-endpoint dead with err.
+func (m *Mux) fail(err error) {
+	m.once.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		m.err = err
+		subs := make([]*subEndpoint, 0, len(m.subs))
+		for _, s := range m.subs {
+			subs = append(subs, s)
+		}
+		m.mu.Unlock()
+		for _, s := range subs {
+			s.wake()
+		}
+	})
+}
+
+type subEndpoint struct {
+	mux     *Mux
+	channel string
+
+	pending []Message
+	notify  chan struct{}
+}
+
+var _ Endpoint = (*subEndpoint)(nil)
+
+func (s *subEndpoint) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// ID implements Endpoint.
+func (s *subEndpoint) ID() int { return s.mux.parent.ID() }
+
+// N implements Endpoint.
+func (s *subEndpoint) N() int { return s.mux.parent.N() }
+
+// Send implements Endpoint.
+func (s *subEndpoint) Send(to int, payload any) error {
+	if err := s.mux.parent.Send(to, tagged{Channel: s.channel, Payload: payload}); err != nil {
+		return fmt.Errorf("mux channel %q: %w", s.channel, err)
+	}
+	return nil
+}
+
+// Broadcast implements Endpoint.
+func (s *subEndpoint) Broadcast(payload any) error {
+	if err := s.mux.parent.Broadcast(tagged{Channel: s.channel, Payload: payload}); err != nil {
+		return fmt.Errorf("mux channel %q: %w", s.channel, err)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (s *subEndpoint) Recv(ctx context.Context) (Message, error) {
+	for {
+		s.mux.mu.Lock()
+		if len(s.pending) > 0 {
+			msg := s.pending[0]
+			s.pending = s.pending[1:]
+			s.mux.mu.Unlock()
+			return msg, nil
+		}
+		closed, err := s.mux.closed, s.mux.err
+		s.mux.mu.Unlock()
+		if closed {
+			if err == nil {
+				err = ErrClosed
+			}
+			return Message{}, fmt.Errorf("mux channel %q: %w", s.channel, err)
+		}
+		select {
+		case <-ctx.Done():
+			return Message{}, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package msgnet_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ooc/internal/benor"
+	"ooc/internal/core"
+	"ooc/internal/msgnet"
+	"ooc/internal/netsim"
+	"ooc/internal/sim"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestMuxRoutesByChannel(t *testing.T) {
+	nw := netsim.New(2, netsim.WithFIFO())
+	ctx := ctxT(t)
+	m0 := msgnet.NewMux(ctx, nw.Node(0))
+	m1 := msgnet.NewMux(ctx, nw.Node(1))
+
+	a0, b0 := m0.Channel("a"), m0.Channel("b")
+	a1, b1 := m1.Channel("a"), m1.Channel("b")
+
+	if err := a0.Send(1, "on-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b0.Send(1, "on-b"); err != nil {
+		t.Fatal(err)
+	}
+	// Channel b receives only its own traffic, regardless of send order.
+	mb, err := b1.Recv(ctx)
+	if err != nil || mb.Payload != "on-b" {
+		t.Fatalf("b recv: %v %v", mb, err)
+	}
+	ma, err := a1.Recv(ctx)
+	if err != nil || ma.Payload != "on-a" {
+		t.Fatalf("a recv: %v %v", ma, err)
+	}
+	if ma.From != 0 || ma.To != 1 {
+		t.Fatalf("envelope mangled: %+v", ma)
+	}
+	_ = a1
+	_ = b0
+}
+
+func TestMuxChannelIdentity(t *testing.T) {
+	nw := netsim.New(1)
+	m := msgnet.NewMux(ctxT(t), nw.Node(0))
+	if m.Channel("x") != m.Channel("x") {
+		t.Fatal("same name returned distinct endpoints")
+	}
+	if m.Channel("x") == m.Channel("y") {
+		t.Fatal("distinct names returned the same endpoint")
+	}
+	if m.Channel("x").ID() != 0 || m.Channel("x").N() != 1 {
+		t.Fatal("sub-endpoint identity wrong")
+	}
+}
+
+func TestMuxBroadcast(t *testing.T) {
+	const n = 3
+	nw := netsim.New(n)
+	ctx := ctxT(t)
+	muxes := make([]*msgnet.Mux, n)
+	for i := 0; i < n; i++ {
+		muxes[i] = msgnet.NewMux(ctx, nw.Node(i))
+	}
+	if err := muxes[0].Channel("c").Broadcast("hello"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m, err := muxes[i].Channel("c").Recv(ctx)
+		if err != nil || m.Payload != "hello" {
+			t.Fatalf("node %d: %v %v", i, m, err)
+		}
+	}
+}
+
+func TestMuxUnknownChannelDropped(t *testing.T) {
+	nw := netsim.New(2)
+	ctx := ctxT(t)
+	m0 := msgnet.NewMux(ctx, nw.Node(0))
+	m1 := msgnet.NewMux(ctx, nw.Node(1))
+	if err := m0.Channel("ghost").Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Channel "real" on the receiver must not see ghost traffic.
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := m1.Channel("real").Recv(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMuxParentDeathFailsSubs(t *testing.T) {
+	nw := netsim.New(2)
+	ctx := ctxT(t)
+	m := msgnet.NewMux(ctx, nw.Node(0))
+	sub := m.Channel("c")
+	nw.Crash(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		_, err := sub.Recv(short)
+		cancel()
+		if errors.Is(err, msgnet.ErrCrashed) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sub endpoint did not observe parent death: %v", err)
+		}
+	}
+}
+
+func TestTwoConsensusInstancesOverOneNetwork(t *testing.T) {
+	// The headline use: two independent Ben-Or instances sharing one
+	// physical network via per-instance channels.
+	const n, tFaults = 3, 1
+	nw := netsim.New(n, netsim.WithSeed(5))
+	ctx := ctxT(t)
+	rng := sim.NewRNG(5)
+	muxes := make([]*msgnet.Mux, n)
+	for i := 0; i < n; i++ {
+		muxes[i] = msgnet.NewMux(ctx, nw.Node(i))
+	}
+	inputsA := []int{0, 1, 1}
+	inputsB := []int{1, 0, 0}
+	decA := make([]core.Decision[int], n)
+	decB := make([]core.Decision[int], n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d, err := benor.RunDecomposed(ctx, muxes[id].Channel("instA"), rng.Fork(uint64(id)), tFaults, inputsA[id],
+				core.WithMaxRounds(2000))
+			if err != nil {
+				t.Errorf("A p%d: %v", id, err)
+				return
+			}
+			decA[id] = d
+		}(id)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d, err := benor.RunDecomposed(ctx, muxes[id].Channel("instB"), rng.Fork(uint64(id)+100), tFaults, inputsB[id],
+				core.WithMaxRounds(2000))
+			if err != nil {
+				t.Errorf("B p%d: %v", id, err)
+				return
+			}
+			decB[id] = d
+		}(id)
+	}
+	wg.Wait()
+	for id := 1; id < n; id++ {
+		if decA[id].Value != decA[0].Value {
+			t.Fatalf("instance A disagreement: %v", decA)
+		}
+		if decB[id].Value != decB[0].Value {
+			t.Fatalf("instance B disagreement: %v", decB)
+		}
+	}
+}
+
+func TestMuxWireTypes(t *testing.T) {
+	if got := len(msgnet.WireTypes()); got != 1 {
+		t.Fatalf("WireTypes() has %d entries", got)
+	}
+}

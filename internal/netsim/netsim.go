@@ -1,0 +1,362 @@
+// Package netsim simulates an asynchronous message-passing network in
+// memory. It implements msgnet.Endpoint for each of n processors and puts
+// the adversary in charge of delivery: messages are handed to receivers in
+// an order chosen by a seeded RNG, may be dropped or duplicated by
+// configured fault policies, and processors can be crashed — including in
+// the middle of a broadcast, the classic adversarial case for Ben-Or.
+//
+// The simulation is property-oriented rather than time-oriented: there is
+// no virtual clock here (Raft's timers use internal/sim.Clock); asynchrony
+// is modelled purely as unbounded reordering, which is all the paper's
+// asynchronous algorithms observe.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ooc/internal/msgnet"
+	"ooc/internal/sim"
+	"ooc/internal/trace"
+)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithRNG supplies the RNG driving delivery order and fault coin flips.
+// The default is a fixed-seed RNG, so unconfigured networks are still
+// deterministic.
+func WithRNG(rng *sim.RNG) Option {
+	return func(n *Network) { n.rng = rng }
+}
+
+// WithSeed is shorthand for WithRNG(sim.NewRNG(seed)).
+func WithSeed(seed uint64) Option {
+	return func(n *Network) { n.rng = sim.NewRNG(seed) }
+}
+
+// WithRecorder attaches a trace recorder; nil is legal and discards.
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(n *Network) { n.rec = rec }
+}
+
+// WithDropRate makes the network lose each message independently with
+// probability p in [0, 1].
+func WithDropRate(p float64) Option {
+	return func(n *Network) { n.dropRate = p }
+}
+
+// WithDupRate makes the network duplicate each delivered message
+// independently with probability p in [0, 1].
+func WithDupRate(p float64) Option {
+	return func(n *Network) { n.dupRate = p }
+}
+
+// WithTamper installs a Byzantine message hook: every sent message passes
+// through fn, which may rewrite it, multiply it, or return nil to eat it.
+// The hook runs under the network lock and must not call back in.
+func WithTamper(fn func(msgnet.Message) []msgnet.Message) Option {
+	return func(n *Network) { n.tamper = fn }
+}
+
+// WithFIFO disables adversarial reordering: each receiver sees messages in
+// arrival order. Useful for isolating reordering effects in tests.
+func WithFIFO() Option {
+	return func(n *Network) { n.fifo = true }
+}
+
+// Network is the simulated network fabric. Create one with New, then hand
+// each processor its Endpoint via Node.
+type Network struct {
+	n        int
+	rng      *sim.RNG
+	rec      *trace.Recorder
+	dropRate float64
+	dupRate  float64
+	fifo     bool
+	tamper   func(msgnet.Message) []msgnet.Message
+
+	mu        sync.Mutex
+	closed    bool
+	crashed   []bool
+	sendQuota []int // -1 = unlimited; counts down to model mid-broadcast crashes
+	pending   [][]msgnet.Message
+	notify    []chan struct{}
+	blocked   [][]bool // blocked[i][j]: messages i -> j are cut (partition)
+}
+
+// New creates a simulated network of n processors.
+func New(n int, opts ...Option) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: invalid processor count %d", n))
+	}
+	nw := &Network{
+		n:         n,
+		rng:       sim.NewRNG(1),
+		crashed:   make([]bool, n),
+		sendQuota: make([]int, n),
+		pending:   make([][]msgnet.Message, n),
+		notify:    make([]chan struct{}, n),
+		blocked:   make([][]bool, n),
+	}
+	for i := range nw.notify {
+		nw.notify[i] = make(chan struct{}, 1)
+		nw.sendQuota[i] = -1
+		nw.blocked[i] = make([]bool, n)
+	}
+	for _, opt := range opts {
+		opt(nw)
+	}
+	return nw
+}
+
+// N reports the number of processors.
+func (nw *Network) N() int { return nw.n }
+
+// Node returns processor id's endpoint.
+func (nw *Network) Node(id int) msgnet.Endpoint {
+	if id < 0 || id >= nw.n {
+		panic(fmt.Sprintf("netsim: node id %d out of range [0,%d)", id, nw.n))
+	}
+	return &endpoint{nw: nw, id: id}
+}
+
+// Crash marks processor id as crashed: its sends vanish, and any blocked
+// or future Recv returns msgnet.ErrCrashed.
+func (nw *Network) Crash(id int) {
+	nw.mu.Lock()
+	nw.crashed[id] = true
+	nw.mu.Unlock()
+	nw.rec.Crash(id)
+	nw.wake(id)
+}
+
+// CrashAfterSends lets processor id successfully send k more individual
+// messages, then crashes it. Because Broadcast transmits to recipients in
+// a random permutation, this injects the canonical "crash mid-broadcast"
+// adversary: an arbitrary subset of recipients sees the final broadcast.
+func (nw *Network) CrashAfterSends(id, k int) {
+	nw.mu.Lock()
+	nw.sendQuota[id] = k
+	nw.mu.Unlock()
+}
+
+// Restart revives a crashed processor: its mailbox starts empty (whatever
+// was in flight while it was down is lost), its send quota is unlimited,
+// and Recv works again. A restarted processor is expected to restore its
+// own durable state (e.g. raft.Storage) before rejoining the protocol.
+func (nw *Network) Restart(id int) {
+	nw.mu.Lock()
+	nw.crashed[id] = false
+	nw.sendQuota[id] = -1
+	nw.pending[id] = nil
+	nw.mu.Unlock()
+	nw.rec.Note(id, "restarted")
+}
+
+// Crashed reports whether id has crashed.
+func (nw *Network) Crashed(id int) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.crashed[id]
+}
+
+// Partition cuts the network into the given groups: messages between
+// different groups are dropped until Heal. Processors absent from every
+// group are isolated entirely.
+func (nw *Network) Partition(groups ...[]int) {
+	group := make([]int, nw.n)
+	for i := range group {
+		group[i] = -1 - i // unique negative: isolated
+	}
+	for g, members := range groups {
+		for _, id := range members {
+			group[id] = g
+		}
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for i := 0; i < nw.n; i++ {
+		for j := 0; j < nw.n; j++ {
+			nw.blocked[i][j] = group[i] != group[j]
+		}
+	}
+}
+
+// Heal removes all partition cuts.
+func (nw *Network) Heal() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for i := range nw.blocked {
+		for j := range nw.blocked[i] {
+			nw.blocked[i][j] = false
+		}
+	}
+}
+
+// Close shuts the network down; all blocked Recvs return msgnet.ErrClosed.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	nw.closed = true
+	nw.mu.Unlock()
+	for id := range nw.notify {
+		nw.wake(id)
+	}
+}
+
+func (nw *Network) wake(id int) {
+	select {
+	case nw.notify[id] <- struct{}{}:
+	default:
+	}
+}
+
+// send routes one message, applying crash quota, partition, tampering,
+// drop and duplication policies. It reports an error only for local
+// conditions (sender crashed / network closed); remote loss is silent, as
+// on a real asynchronous network.
+func (nw *Network) send(from, to int, payload any) error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return msgnet.ErrClosed
+	}
+	if nw.crashed[from] {
+		nw.mu.Unlock()
+		return msgnet.ErrCrashed
+	}
+	if q := nw.sendQuota[from]; q == 0 {
+		nw.crashed[from] = true
+		nw.mu.Unlock()
+		nw.rec.Crash(from)
+		nw.wake(from)
+		return msgnet.ErrCrashed
+	} else if q > 0 {
+		nw.sendQuota[from] = q - 1
+	}
+
+	msgs := []msgnet.Message{{From: from, To: to, Payload: payload}}
+	if nw.tamper != nil {
+		msgs = nw.tamper(msgs[0])
+	}
+	type delivery struct {
+		to  int
+		msg msgnet.Message
+	}
+	var deliveries []delivery
+	var drops []msgnet.Message
+	for _, m := range msgs {
+		switch {
+		case nw.blocked[m.From][m.To], nw.crashed[m.To]:
+			// Partitioned or dead receiver: the message is lost. A crashed
+			// receiver never reads its mailbox again, so this is
+			// observationally a drop.
+			drops = append(drops, m)
+		case nw.dropRate > 0 && nw.rng.Float64() < nw.dropRate:
+			drops = append(drops, m)
+		default:
+			copies := 1
+			if nw.dupRate > 0 && nw.rng.Float64() < nw.dupRate {
+				copies = 2
+			}
+			for c := 0; c < copies; c++ {
+				nw.pending[m.To] = append(nw.pending[m.To], m)
+				deliveries = append(deliveries, delivery{to: m.To, msg: m})
+			}
+		}
+	}
+	nw.mu.Unlock()
+
+	nw.rec.Send(from, to, 0, approxSize(payload), payload)
+	for _, d := range drops {
+		nw.rec.Drop(d.To, d.From, 0, d.Payload)
+	}
+	for _, d := range deliveries {
+		nw.wake(d.to)
+	}
+	return nil
+}
+
+// recvOne pops one pending message for id, honoring the reordering
+// policy. It returns ok=false when nothing is pending.
+func (nw *Network) recvOne(id int) (msgnet.Message, bool, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.crashed[id] {
+		return msgnet.Message{}, false, msgnet.ErrCrashed
+	}
+	if nw.closed {
+		return msgnet.Message{}, false, msgnet.ErrClosed
+	}
+	q := nw.pending[id]
+	if len(q) == 0 {
+		return msgnet.Message{}, false, nil
+	}
+	idx := 0
+	if !nw.fifo && len(q) > 1 {
+		idx = nw.rng.Intn(len(q))
+	}
+	m := q[idx]
+	nw.pending[id] = append(q[:idx], q[idx+1:]...)
+	return m, true, nil
+}
+
+func approxSize(payload any) int {
+	// A rough wire-size proxy used only for accounting; the TCP transport
+	// measures real encoded sizes.
+	return len(fmt.Sprintf("%v", payload))
+}
+
+type endpoint struct {
+	nw *Network
+	id int
+}
+
+var _ msgnet.Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) ID() int { return e.id }
+func (e *endpoint) N() int  { return e.nw.n }
+
+func (e *endpoint) Send(to int, payload any) error {
+	if to < 0 || to >= e.nw.n {
+		return fmt.Errorf("netsim: send to invalid node %d", to)
+	}
+	return e.nw.send(e.id, to, payload)
+}
+
+// Broadcast sends to every processor in a random permutation so that a
+// send-quota crash cuts the broadcast at an adversarially chosen subset.
+func (e *endpoint) Broadcast(payload any) error {
+	order := e.nw.rng.Perm(e.nw.n)
+	for _, to := range order {
+		if err := e.nw.send(e.id, to, payload); err != nil {
+			return fmt.Errorf("broadcast from %d interrupted: %w", e.id, err)
+		}
+	}
+	return nil
+}
+
+func (e *endpoint) Recv(ctx context.Context) (msgnet.Message, error) {
+	for {
+		// Check cancellation before draining: a receiver whose context is
+		// dead must not steal messages from a successor on the same
+		// endpoint (crash-recovery boots a fresh node on the old id).
+		if err := ctx.Err(); err != nil {
+			return msgnet.Message{}, err
+		}
+		m, ok, err := e.nw.recvOne(e.id)
+		if err != nil {
+			return msgnet.Message{}, err
+		}
+		if ok {
+			e.nw.rec.Deliver(e.id, m.From, 0, m.Payload)
+			return m, nil
+		}
+		select {
+		case <-ctx.Done():
+			return msgnet.Message{}, ctx.Err()
+		case <-e.nw.notify[e.id]:
+		}
+	}
+}

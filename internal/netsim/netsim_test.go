@@ -1,0 +1,416 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ooc/internal/msgnet"
+	"ooc/internal/trace"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSendRecv(t *testing.T) {
+	nw := New(2)
+	a, b := nw.Node(0), nw.Node(1)
+	if err := a.Send(1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || m.To != 1 || m.Payload != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	nw := New(1)
+	a := nw.Node(0)
+	if err := a.Send(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Recv(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Payload != 42 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestSendInvalidDestination(t *testing.T) {
+	nw := New(2)
+	if err := nw.Node(0).Send(7, "x"); err == nil {
+		t.Fatal("send to out-of-range node succeeded")
+	}
+}
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	const n = 5
+	nw := New(n)
+	if err := nw.Node(2).Broadcast("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m, err := nw.Node(i).Recv(ctxT(t))
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if m.From != 2 || m.Payload != "b" {
+			t.Fatalf("node %d got %+v", i, m)
+		}
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	nw := New(2)
+	got := make(chan msgnet.Message, 1)
+	go func() {
+		m, err := nw.Node(1).Recv(context.Background())
+		if err == nil {
+			got <- m
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("Recv returned before any send")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := nw.Node(0).Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Payload != "x" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not wake after send")
+	}
+}
+
+func TestRecvContextCancel(t *testing.T) {
+	nw := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := nw.Node(0).Recv(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCrashStopsSendsAndRecvs(t *testing.T) {
+	nw := New(2)
+	nw.Crash(0)
+	if !nw.Crashed(0) {
+		t.Fatal("Crashed(0) = false after Crash")
+	}
+	if err := nw.Node(0).Send(1, "x"); !errors.Is(err, msgnet.ErrCrashed) {
+		t.Fatalf("send err = %v, want ErrCrashed", err)
+	}
+	if _, err := nw.Node(0).Recv(ctxT(t)); !errors.Is(err, msgnet.ErrCrashed) {
+		t.Fatalf("recv err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestCrashWakesBlockedRecv(t *testing.T) {
+	nw := New(2)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := nw.Node(1).Recv(context.Background())
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	nw.Crash(1)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, msgnet.ErrCrashed) {
+			t.Fatalf("err = %v, want ErrCrashed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Recv not woken by Crash")
+	}
+}
+
+func TestMessagesToCrashedNodeAreDropped(t *testing.T) {
+	rec := trace.NewRecorder()
+	nw := New(2, WithRecorder(rec))
+	nw.Crash(1)
+	if err := nw.Node(0).Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Summarize(rec.Snapshot())
+	if s.MessagesDropped != 1 {
+		t.Fatalf("dropped = %d, want 1: %v", s.MessagesDropped, s)
+	}
+}
+
+func TestCrashAfterSendsCutsBroadcast(t *testing.T) {
+	const n = 10
+	rec := trace.NewRecorder()
+	nw := New(n, WithSeed(7), WithRecorder(rec))
+	nw.CrashAfterSends(0, 4)
+	err := nw.Node(0).Broadcast("partial")
+	if !errors.Is(err, msgnet.ErrCrashed) {
+		t.Fatalf("broadcast err = %v, want ErrCrashed", err)
+	}
+	if !nw.Crashed(0) {
+		t.Fatal("node 0 should be crashed after quota exhausted")
+	}
+	// Exactly 4 copies of the broadcast left the sender before the crash.
+	if s := trace.Summarize(rec.Snapshot()); s.MessagesSent != 4 {
+		t.Fatalf("sent = %d messages before crash, want 4 (%v)", s.MessagesSent, s)
+	}
+}
+
+func TestDropRateOneLosesEverything(t *testing.T) {
+	rec := trace.NewRecorder()
+	nw := New(2, WithDropRate(1), WithRecorder(rec))
+	if err := nw.Node(0).Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := nw.Node(1).Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("recv err = %v, want deadline exceeded", err)
+	}
+	if s := trace.Summarize(rec.Snapshot()); s.MessagesDropped != 1 {
+		t.Fatalf("stats = %v", s)
+	}
+}
+
+func TestDupRateOneDuplicatesEverything(t *testing.T) {
+	nw := New(2, WithDupRate(1))
+	if err := nw.Node(0).Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m, err := nw.Node(1).Recv(ctxT(t))
+		if err != nil || m.Payload != "x" {
+			t.Fatalf("copy %d: %v %v", i, m, err)
+		}
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	nw := New(4)
+	nw.Partition([]int{0, 1}, []int{2, 3})
+	if err := nw.Node(0).Send(2, "cut"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Node(0).Send(1, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nw.Node(1).Recv(ctxT(t))
+	if err != nil || m.Payload != "ok" {
+		t.Fatalf("intra-partition delivery failed: %v %v", m, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if _, err := nw.Node(2).Recv(ctx); err == nil {
+		t.Fatal("cross-partition message delivered")
+	}
+	cancel()
+
+	nw.Heal()
+	if err := nw.Node(0).Send(2, "healed"); err != nil {
+		t.Fatal(err)
+	}
+	m, err = nw.Node(2).Recv(ctxT(t))
+	if err != nil || m.Payload != "healed" {
+		t.Fatalf("post-heal delivery failed: %v %v", m, err)
+	}
+}
+
+func TestPartitionIsolatesUnlistedNodes(t *testing.T) {
+	nw := New(3)
+	nw.Partition([]int{0, 1}) // node 2 unlisted: isolated
+	if err := nw.Node(0).Send(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := nw.Node(2).Recv(ctx); err == nil {
+		t.Fatal("isolated node received a message")
+	}
+}
+
+func TestTamperHook(t *testing.T) {
+	nw := New(2, WithTamper(func(m msgnet.Message) []msgnet.Message {
+		if s, ok := m.Payload.(string); ok && s == "evil" {
+			m.Payload = "tampered"
+		}
+		return []msgnet.Message{m}
+	}))
+	if err := nw.Node(0).Send(1, "evil"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nw.Node(1).Recv(ctxT(t))
+	if err != nil || m.Payload != "tampered" {
+		t.Fatalf("got %v %v", m, err)
+	}
+}
+
+func TestTamperCanEatMessages(t *testing.T) {
+	nw := New(2, WithTamper(func(msgnet.Message) []msgnet.Message { return nil }))
+	if err := nw.Node(0).Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := nw.Node(1).Recv(ctx); err == nil {
+		t.Fatal("eaten message was delivered")
+	}
+}
+
+func TestCloseWakesEveryone(t *testing.T) {
+	nw := New(3)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = nw.Node(i).Recv(context.Background())
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	nw.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, msgnet.ErrClosed) {
+			t.Fatalf("node %d err = %v, want ErrClosed", i, err)
+		}
+	}
+}
+
+func TestReorderingHappensButDeliversAll(t *testing.T) {
+	nw := New(2, WithSeed(3))
+	const k = 50
+	for i := 0; i < k; i++ {
+		if err := nw.Node(0).Send(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]bool, k)
+	inOrder := true
+	prev := -1
+	for i := 0; i < k; i++ {
+		m, err := nw.Node(1).Recv(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := m.Payload.(int)
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+		if v < prev {
+			inOrder = false
+		}
+		prev = v
+	}
+	if inOrder {
+		t.Fatal("50 messages delivered in FIFO order under the reordering adversary; expected shuffling")
+	}
+}
+
+func TestFIFOOptionPreservesOrder(t *testing.T) {
+	nw := New(2, WithFIFO())
+	const k = 30
+	for i := 0; i < k; i++ {
+		if err := nw.Node(0).Send(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m, err := nw.Node(1).Recv(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Payload.(int) != i {
+			t.Fatalf("position %d delivered %v under FIFO", i, m.Payload)
+		}
+	}
+}
+
+func TestDeterministicGivenSeedAndSequence(t *testing.T) {
+	run := func(seed uint64) []int {
+		nw := New(2, WithSeed(seed))
+		for i := 0; i < 20; i++ {
+			if err := nw.Node(0).Send(1, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var order []int
+		for i := 0; i < 20; i++ {
+			m, err := nw.Node(1).Recv(ctxT(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			order = append(order, m.Payload.(int))
+		}
+		return order
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRestartRevivesCrashedNode(t *testing.T) {
+	nw := New(2, WithSeed(1))
+	nw.Crash(1)
+	if err := nw.Node(0).Send(1, "lost"); err != nil {
+		t.Fatal(err)
+	}
+	nw.Restart(1)
+	if nw.Crashed(1) {
+		t.Fatal("node still crashed after Restart")
+	}
+	// In-flight traffic from the dead period is gone...
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if _, err := nw.Node(1).Recv(ctx); err == nil {
+		t.Fatal("message from dead period survived restart")
+	}
+	cancel()
+	// ...but new traffic flows both ways.
+	if err := nw.Node(0).Send(1, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nw.Node(1).Recv(ctxT(t))
+	if err != nil || m.Payload != "fresh" {
+		t.Fatalf("post-restart recv: %v %v", m, err)
+	}
+	if err := nw.Node(1).Send(0, "reply"); err != nil {
+		t.Fatalf("post-restart send: %v", err)
+	}
+	if m, err := nw.Node(0).Recv(ctxT(t)); err != nil || m.Payload != "reply" {
+		t.Fatalf("reply: %v %v", m, err)
+	}
+}
+
+func TestRestartClearsSendQuota(t *testing.T) {
+	nw := New(2, WithSeed(2))
+	nw.CrashAfterSends(0, 1)
+	_ = nw.Node(0).Send(1, "a") // consumes the quota
+	if err := nw.Node(0).Send(1, "b"); err == nil {
+		t.Fatal("quota crash did not fire")
+	}
+	nw.Restart(0)
+	for i := 0; i < 5; i++ {
+		if err := nw.Node(0).Send(1, i); err != nil {
+			t.Fatalf("send %d after restart: %v", i, err)
+		}
+	}
+}

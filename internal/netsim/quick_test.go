@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestExactlyOnceDeliveryProperty: on a fault-free network, any sequence
+// of sends is delivered exactly once as a multiset, regardless of the
+// reordering seed.
+func TestExactlyOnceDeliveryProperty(t *testing.T) {
+	f := func(seed uint64, payloads []uint8) bool {
+		if len(payloads) > 64 {
+			payloads = payloads[:64]
+		}
+		nw := New(2, WithSeed(seed))
+		want := map[uint8]int{}
+		for _, p := range payloads {
+			if err := nw.Node(0).Send(1, p); err != nil {
+				return false
+			}
+			want[p]++
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		got := map[uint8]int{}
+		for range payloads {
+			m, err := nw.Node(1).Recv(ctx)
+			if err != nil {
+				return false
+			}
+			got[m.Payload.(uint8)]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		// Nothing extra is pending.
+		short, c2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		defer c2()
+		_, err := nw.Node(1).Recv(short)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncExchangeConservationProperty: in a fault-free synchronous
+// exchange, every non-nil value submitted is delivered to exactly its
+// addressee, and nothing else appears.
+func TestSyncExchangeConservationProperty(t *testing.T) {
+	f := func(matrix [9]int8) bool {
+		const n = 3
+		s := NewSync(n, nil)
+		type res struct {
+			id int
+			in []any
+		}
+		results := make(chan res, n)
+		for id := 0; id < n; id++ {
+			go func(id int) {
+				out := make([]any, n)
+				for to := 0; to < n; to++ {
+					v := matrix[id*n+to]
+					if v >= 0 { // negatives model silence
+						out[to] = int(v)
+					}
+				}
+				in, err := s.Exchange(id, out)
+				if err != nil {
+					results <- res{id: id, in: nil}
+					return
+				}
+				results <- res{id: id, in: in}
+			}(id)
+		}
+		inboxes := make([][]any, n)
+		for i := 0; i < n; i++ {
+			r := <-results
+			if r.in == nil {
+				return false
+			}
+			inboxes[r.id] = r.in
+		}
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				v := matrix[from*n+to]
+				got := inboxes[to][from]
+				if v >= 0 {
+					if got != int(v) {
+						return false
+					}
+				} else if got != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ooc/internal/trace"
+)
+
+// SyncNetwork models the synchronous message-passing rounds Phase-King
+// assumes: in each exchange every live processor submits a vector of
+// per-recipient values (Byzantine processors may equivocate by submitting
+// different values to different recipients), a barrier waits until all
+// live processors have submitted, and then every processor observes the
+// full vector of what was sent to it.
+//
+// A nil entry in the outgoing vector means "send nothing to that
+// processor", which is how silent Byzantine behaviour is expressed.
+type SyncNetwork struct {
+	n   int
+	rec *trace.Recorder
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	closed    bool
+	left      []bool // processors that permanently left the protocol
+	round     int
+	submitted map[int][]any // this round's outgoing vectors, by sender
+	inboxes   [][]any       // assembled once the barrier releases
+	pickedUp  map[int]bool
+}
+
+// ErrLeft is returned by Exchange after Leave(id).
+var ErrLeft = errors.New("netsim: processor has left the synchronous protocol")
+
+// ErrSyncClosed is returned by Exchange after the network is closed.
+var ErrSyncClosed = errors.New("netsim: synchronous network closed")
+
+// NewSync creates a synchronous network of n processors. rec may be nil.
+func NewSync(n int, rec *trace.Recorder) *SyncNetwork {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: invalid processor count %d", n))
+	}
+	s := &SyncNetwork{
+		n:         n,
+		rec:       rec,
+		left:      make([]bool, n),
+		submitted: make(map[int][]any, n),
+		pickedUp:  make(map[int]bool, n),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// N reports the number of processors.
+func (s *SyncNetwork) N() int { return s.n }
+
+// Round reports the current exchange number (starting at 0).
+func (s *SyncNetwork) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Leave removes processor id from the protocol permanently (a crash in
+// the synchronous model). The barrier stops waiting for it.
+func (s *SyncNetwork) Leave(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.left[id] {
+		return
+	}
+	s.left[id] = true
+	if s.rec != nil {
+		s.rec.Crash(id)
+	}
+	s.maybeReleaseLocked()
+	s.maybeAdvanceLocked()
+	s.cond.Broadcast()
+}
+
+// Close aborts the network; all blocked Exchange calls fail.
+func (s *SyncNetwork) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// Exchange performs one synchronous communication step for processor id.
+// out must have length n; out[j] is delivered to processor j (nil = send
+// nothing). It returns in, where in[j] is what processor j sent to id this
+// round (nil if nothing). Exchange blocks until every live processor has
+// submitted its vector for the current round.
+func (s *SyncNetwork) Exchange(id int, out []any) ([]any, error) {
+	if len(out) != s.n {
+		return nil, fmt.Errorf("netsim: Exchange vector length %d, want %d", len(out), s.n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.left[id] {
+		return nil, ErrLeft
+	}
+	if s.closed {
+		return nil, ErrSyncClosed
+	}
+	if _, dup := s.submitted[id]; dup {
+		return nil, fmt.Errorf("netsim: processor %d submitted twice in round %d", id, s.round)
+	}
+
+	myRound := s.round
+	vec := make([]any, s.n)
+	copy(vec, out)
+	s.submitted[id] = vec
+	if s.rec != nil {
+		for j, v := range vec {
+			if v != nil {
+				s.rec.Send(id, j, myRound+1, approxSize(v), v)
+			}
+		}
+	}
+	s.maybeReleaseLocked()
+
+	// Wait for this round's inboxes to be assembled.
+	for s.round == myRound && s.inboxes == nil && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, ErrSyncClosed
+	}
+	in := s.inboxes[id]
+	s.pickedUp[id] = true
+	if s.rec != nil {
+		for j, v := range in {
+			if v != nil {
+				s.rec.Deliver(id, j, myRound+1, v)
+			}
+		}
+	}
+	s.maybeAdvanceLocked()
+	// Wait until the round has advanced so a fast processor cannot submit
+	// its next vector into the still-draining round.
+	for s.round == myRound && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, ErrSyncClosed
+	}
+	return in, nil
+}
+
+// maybeReleaseLocked assembles the inboxes once all live processors have
+// submitted this round's vectors.
+func (s *SyncNetwork) maybeReleaseLocked() {
+	if s.inboxes != nil {
+		return
+	}
+	live := 0
+	for id := 0; id < s.n; id++ {
+		if !s.left[id] {
+			live++
+		}
+	}
+	if len(s.submitted) < live || live == 0 {
+		return
+	}
+	inboxes := make([][]any, s.n)
+	for to := 0; to < s.n; to++ {
+		inboxes[to] = make([]any, s.n)
+	}
+	for from, vec := range s.submitted {
+		for to, v := range vec {
+			inboxes[to][from] = v
+		}
+	}
+	s.inboxes = inboxes
+	s.cond.Broadcast()
+}
+
+// maybeAdvanceLocked moves to the next round once every live submitter
+// has picked up its inbox.
+func (s *SyncNetwork) maybeAdvanceLocked() {
+	if s.inboxes == nil {
+		// The round has not been released yet; nothing to drain.
+		return
+	}
+	for id := range s.submitted {
+		if !s.pickedUp[id] && !s.left[id] {
+			return
+		}
+	}
+	s.round++
+	s.submitted = make(map[int][]any, s.n)
+	s.pickedUp = make(map[int]bool, s.n)
+	s.inboxes = nil
+	s.cond.Broadcast()
+}

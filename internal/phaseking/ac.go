@@ -1,0 +1,147 @@
+package phaseking
+
+import (
+	"context"
+	"fmt"
+
+	"ooc/internal/core"
+	"ooc/internal/netsim"
+)
+
+// AC is the paper's Algorithm 3: Phase-King's two counting exchanges
+// packaged as an adopt-commit object.
+//
+//	AC(v, m):
+//	  broadcast <v>                        // exchange 1
+//	  v ← 2
+//	  for k = 0 to 1:
+//	    C(k) ← # received k's
+//	    if C(k) ≥ n−t: v ← k
+//	  broadcast <v>                        // exchange 2
+//	  for k = 2 downto 0:
+//	    D(k) ← # received k's
+//	    if D(k) > t: v ← k
+//	  if v ≠ 2 and D(v) ≥ n−t: return (commit, v)
+//	  else:                    return (adopt, v)
+//
+// The value 2 is the "no majority" marker; the conciliator's MIN(1, ·)
+// clamps it back into the binary domain. Note the downto order of the
+// second loop: the marker is tested first so that a real value, when
+// present, wins.
+//
+// The object is stateful (it owns this processor's exchange alignment)
+// and not safe for concurrent Propose calls.
+type AC struct {
+	e *engine
+}
+
+var _ core.AdoptCommit[int] = (*AC)(nil)
+
+// NewAC returns processor id's adopt-commit object on the synchronous
+// network. t is the Byzantine bound and must satisfy 3t < n.
+func NewAC(net *netsim.SyncNetwork, id, t int) (*AC, error) {
+	e, err := newEngine(net, id, t)
+	if err != nil {
+		return nil, err
+	}
+	return &AC{e: e}, nil
+}
+
+// Propose implements core.AdoptCommit for binary values.
+func (a *AC) Propose(ctx context.Context, v int, round int) (core.Confidence, int, error) {
+	if v != 0 && v != 1 {
+		return 0, 0, fmt.Errorf("phaseking: non-binary input %d", v)
+	}
+	e := a.e
+	// Perform any king exchange the template skipped after a commit.
+	if err := e.syncTo(ctx, (round-1)*exchangesPerPhase, v); err != nil {
+		return 0, 0, err
+	}
+
+	// Exchange 1: count support for each binary value.
+	in1, err := e.exchange(ctx, v)
+	if err != nil {
+		return 0, 0, err
+	}
+	var c [2]int
+	for _, raw := range in1 {
+		if k, ok := raw.(int); ok && (k == 0 || k == 1) {
+			c[k]++
+		}
+	}
+	w := 2
+	for k := 0; k <= 1; k++ {
+		if c[k] >= e.n-e.t {
+			w = k
+		}
+	}
+
+	// Exchange 2: count support for the exchange-1 outcome.
+	in2, err := e.exchange(ctx, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	var d [3]int
+	for _, raw := range in2 {
+		if k, ok := raw.(int); ok && k >= 0 && k <= 2 {
+			d[k]++
+		}
+	}
+	out := w
+	for k := 2; k >= 0; k-- {
+		if d[k] > e.t {
+			out = k
+		}
+	}
+
+	if out != 2 && d[out] >= e.n-e.t {
+		return core.Commit, out, nil
+	}
+	return core.Adopt, out, nil
+}
+
+// Engine exposes the exchange alignment for the runner's final catch-up;
+// see Runner documentation.
+func (a *AC) syncToEnd(ctx context.Context, rounds int, v int) error {
+	return a.e.syncTo(ctx, rounds*exchangesPerPhase, v)
+}
+
+// Conciliator is the paper's Algorithm 4: the round's king broadcasts its
+// (clamped) preference and every adopt-receiver takes it.
+//
+//	Conciliator(X, σ, m):
+//	  if id = m: broadcast <MIN(1, v)>
+//	  σm ← received message from processor m
+//	  return (adopt, σm)
+//
+// If the king is silent or sends garbage (a Byzantine king), the
+// processor keeps its own clamped preference — progress is only promised
+// for rounds whose king is correct, exactly as in the paper's Lemma 3.
+//
+// A Conciliator must share its AC's engine so the synchronous exchanges
+// interleave correctly; construct both through NewObjects.
+type Conciliator struct {
+	e *engine
+}
+
+var _ core.Conciliator[int] = (*Conciliator)(nil)
+
+// Conciliate implements core.Conciliator.
+func (c *Conciliator) Conciliate(ctx context.Context, _ core.Confidence, sigma int, round int) (int, error) {
+	in, err := c.e.kingExchange(ctx, round, sigma)
+	if err != nil {
+		return 0, err
+	}
+	return binaryOrDefault(in[c.e.king(round)], clampBinary(sigma)), nil
+}
+
+// NewObjects builds the AC/Conciliator pair for one correct processor.
+// The two objects share the exchange engine and must both be used by the
+// same goroutine.
+func NewObjects(net *netsim.SyncNetwork, id, t int) (*AC, *Conciliator, error) {
+	ac, err := NewAC(net, id, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ac, &Conciliator{e: ac.e}, nil
+}

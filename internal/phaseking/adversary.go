@@ -1,0 +1,162 @@
+package phaseking
+
+import "ooc/internal/sim"
+
+// Adversary is a Byzantine processor's behaviour: for each global
+// exchange index (3 per phase: AC exchange 1, AC exchange 2, king
+// broadcast) it produces the per-recipient vector to submit. A nil vector
+// (or nil entries) means silence towards everyone (or towards that
+// recipient). Returning different values to different recipients is
+// equivocation — the synchronous network delivers whatever is submitted.
+type Adversary interface {
+	Vector(exchange, n, self int) []any
+}
+
+// SilentAdversary crashes in the politest possible way: it participates
+// in every barrier but never says anything.
+type SilentAdversary struct{}
+
+var _ Adversary = SilentAdversary{}
+
+// Vector implements Adversary.
+func (SilentAdversary) Vector(_, n, _ int) []any { return make([]any, n) }
+
+// RandomAdversary sends an independently random value from {0, 1, 2} to
+// every recipient in every exchange — undirected Byzantine noise.
+type RandomAdversary struct {
+	RNG *sim.RNG
+}
+
+var _ Adversary = (*RandomAdversary)(nil)
+
+// Vector implements Adversary.
+func (a *RandomAdversary) Vector(_, n, _ int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = a.RNG.Intn(3)
+	}
+	return out
+}
+
+// EquivocateAdversary tells the lower half of the network 0 and the upper
+// half 1 in every exchange, the textbook split-the-vote behaviour.
+type EquivocateAdversary struct{}
+
+var _ Adversary = EquivocateAdversary{}
+
+// Vector implements Adversary.
+func (EquivocateAdversary) Vector(_, n, _ int) []any {
+	out := make([]any, n)
+	for i := range out {
+		if i < n/2 {
+			out[i] = 0
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// GarbageAdversary sends values outside the protocol's domain (strings,
+// out-of-range ints) to exercise input hardening.
+type GarbageAdversary struct{}
+
+var _ Adversary = GarbageAdversary{}
+
+// Vector implements Adversary.
+func (GarbageAdversary) Vector(exchange, n, _ int) []any {
+	out := make([]any, n)
+	for i := range out {
+		if (exchange+i)%2 == 0 {
+			out[i] = "lies"
+		} else {
+			out[i] = 17
+		}
+	}
+	return out
+}
+
+// AdaptiveAdversary is an Adversary that also observes what the network
+// delivered to it each exchange, enabling reactive strategies. The
+// runner calls Observe after every completed exchange.
+type AdaptiveAdversary interface {
+	Adversary
+	Observe(exchange int, inbox []any)
+}
+
+// SpoilerAdversary is adaptive: it watches the last exchange's traffic
+// and reports the currently *less* popular binary value to everyone,
+// trying to starve the n−t majorities the AdoptCommit needs. Against a
+// correct Phase-King this only delays commitment until a correct king's
+// round, which the tests confirm.
+type SpoilerAdversary struct {
+	lastCounts [2]int
+}
+
+var _ AdaptiveAdversary = (*SpoilerAdversary)(nil)
+
+// Observe implements AdaptiveAdversary.
+func (a *SpoilerAdversary) Observe(_ int, inbox []any) {
+	a.lastCounts = [2]int{}
+	for _, raw := range inbox {
+		if v, ok := raw.(int); ok && (v == 0 || v == 1) {
+			a.lastCounts[v]++
+		}
+	}
+}
+
+// Vector implements Adversary.
+func (a *SpoilerAdversary) Vector(_, n, _ int) []any {
+	minority := 0
+	if a.lastCounts[0] > a.lastCounts[1] {
+		minority = 1
+	}
+	out := make([]any, n)
+	for i := range out {
+		out[i] = minority
+	}
+	return out
+}
+
+// ScriptedAdversary plays a fixed per-exchange schedule, then goes
+// silent. Script[e] is the vector for global exchange e.
+type ScriptedAdversary struct {
+	Script [][]any
+}
+
+var _ Adversary = (*ScriptedAdversary)(nil)
+
+// Vector implements Adversary.
+func (a *ScriptedAdversary) Vector(exchange, n, _ int) []any {
+	if exchange < len(a.Script) && a.Script[exchange] != nil {
+		return a.Script[exchange]
+	}
+	return make([]any, n)
+}
+
+// KingDiversionAdversary is the crafted attack on the paper's
+// first-commit decision rule, for the configuration n=4, t=1, Byzantine
+// processor 0 (king of round 1), and correct inputs p1=0, p2=0, p3=1.
+//
+// Round 1: it splits AC exchange 1 so that p1 and p2 see a 0-majority
+// while p3 sees none, then feeds AC exchange 2 so that exactly p1 commits
+// 0 while p2 and p3 merely adopt 0. As round-1 king it then diverts the
+// adopters to 1. Round 2: it completes their 1-majority so p2 and p3
+// commit — and decide — 1, while p1 has already decided 0.
+//
+// Against RuleFinalValue (the classical decision rule) the same schedule
+// is harmless; experiment EA demonstrates both outcomes.
+func KingDiversionAdversary() *ScriptedAdversary {
+	return &ScriptedAdversary{Script: [][]any{
+		// Round 1, AC exchange 1.
+		{nil, 0, 0, 1},
+		// Round 1, AC exchange 2: commit for p1 only.
+		{nil, 0, 2, 2},
+		// Round 1, king broadcast (we are the king): divert adopters.
+		{nil, nil, 1, 1},
+		// Round 2, AC exchange 1: give p2, p3 a 1-majority.
+		{nil, 0, 1, 1},
+		// Round 2, AC exchange 2: complete their commit of 1.
+		{nil, 1, 1, 1},
+	}}
+}

@@ -1,0 +1,80 @@
+package phaseking
+
+import (
+	"context"
+
+	"ooc/internal/core"
+	"ooc/internal/netsim"
+)
+
+// runMonolithicProcessor is one correct processor's life under the
+// classic Berman-Garay-Perry Phase-King protocol, written as a single
+// loop with no object boundaries. Per phase: two counting exchanges, then
+// the king broadcast; a processor keeps its value only when it saw
+// overwhelming (n−t) support, otherwise it takes the king's. The decision
+// is the final preference after all phases — the classical rule, which is
+// what makes the monolithic protocol immune to the king-diversion attack
+// on early decisions.
+func runMonolithicProcessor(ctx context.Context, net *netsim.SyncNetwork, id int, cfg Config) (core.Decision[int], error) {
+	e, err := newEngine(net, id, cfg.T)
+	if err != nil {
+		return core.Decision[int]{}, err
+	}
+	v := cfg.Inputs[id]
+	n, t := e.n, e.t
+
+	for m := 1; m <= cfg.Rounds; m++ {
+		cfg.Recorder.RoundStart(id, m)
+
+		// Exchange 1: count support for each binary value.
+		in1, err := e.exchange(ctx, v)
+		if err != nil {
+			return core.Decision[int]{}, err
+		}
+		var c [2]int
+		for _, raw := range in1 {
+			if k, ok := raw.(int); ok && (k == 0 || k == 1) {
+				c[k]++
+			}
+		}
+		w := 2
+		for k := 0; k <= 1; k++ {
+			if c[k] >= n-t {
+				w = k
+			}
+		}
+
+		// Exchange 2: count support for the exchange-1 outcome.
+		in2, err := e.exchange(ctx, w)
+		if err != nil {
+			return core.Decision[int]{}, err
+		}
+		var d [3]int
+		for _, raw := range in2 {
+			if k, ok := raw.(int); ok && k >= 0 && k <= 2 {
+				d[k]++
+			}
+		}
+		out := w
+		for k := 2; k >= 0; k-- {
+			if d[k] > t {
+				out = k
+			}
+		}
+
+		// King broadcast: keep the strong value, otherwise take the
+		// king's.
+		inK, err := e.kingExchange(ctx, m, out)
+		if err != nil {
+			return core.Decision[int]{}, err
+		}
+		if out != 2 && d[out] >= n-t {
+			v = out
+		} else {
+			v = binaryOrDefault(inK[e.king(m)], clampBinary(out))
+		}
+	}
+	dec := core.Decision[int]{Value: clampBinary(v), Round: cfg.Rounds}
+	cfg.Recorder.Decide(id, cfg.Rounds, dec.Value)
+	return dec, nil
+}

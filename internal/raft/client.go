@@ -1,0 +1,138 @@
+package raft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ooc/internal/sim"
+)
+
+// Client submits commands to a Raft cluster with the retry logic every
+// real deployment needs: it follows ErrNotLeader redirects, falls back to
+// round-robin probing when no leader is known, retries across elections,
+// and optionally waits until the command is applied locally on the
+// contacted node. It is the API cmd/raftkv and the examples build on.
+//
+// The client only needs handles to the nodes it may contact; in a
+// multi-process deployment that is typically one local node.
+type Client struct {
+	nodes   []*Node
+	clock   sim.Clock
+	backoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientClock injects a clock (tests use the fake one for backoff).
+func WithClientClock(clock sim.Clock) ClientOption {
+	return func(c *Client) { c.clock = clock }
+}
+
+// WithClientBackoff sets the pause between retries (default 5ms).
+func WithClientBackoff(d time.Duration) ClientOption {
+	return func(c *Client) { c.backoff = d }
+}
+
+// NewClient builds a client over the contactable nodes.
+func NewClient(nodes []*Node, opts ...ClientOption) (*Client, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("raft: client needs at least one node")
+	}
+	c := &Client{
+		nodes:   append([]*Node(nil), nodes...),
+		clock:   sim.RealClock{},
+		backoff: 5 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Submit proposes cmd, retrying across leader changes until some node
+// accepts it into its log as leader. It returns the log index the leader
+// assigned and the id of the node that accepted.
+//
+// Note the standard caveat: acceptance is not commitment. A leader that
+// crashes right after accepting may lose the entry; use SubmitWait for
+// commit-level guarantees, and make commands idempotent if you retry
+// around SubmitWait errors (exactly-once needs client session state,
+// which is out of scope here as in the Raft paper's core protocol).
+func (c *Client) Submit(ctx context.Context, cmd any) (index int, node int, err error) {
+	probe := 0
+	target := -1 // last redirect hint
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, fmt.Errorf("raft: client: %w", err)
+		}
+		id := target
+		if id < 0 || id >= len(c.nodes) {
+			id = probe % len(c.nodes)
+			probe++
+		}
+		idx, perr := c.nodes[id].Propose(ctx, cmd)
+		if perr == nil {
+			return idx, id, nil
+		}
+		var nl ErrNotLeader
+		switch {
+		case errors.As(perr, &nl):
+			target = nl.LeaderID // may be -1: falls back to probing
+			if target == id {
+				target = -1 // stale self-reference; probe elsewhere
+			}
+		case errors.Is(perr, ErrStopped):
+			target = -1 // that node is gone; probe the others
+		default:
+			return 0, 0, fmt.Errorf("raft: client submit: %w", perr)
+		}
+		c.clock.Sleep(c.backoff)
+	}
+}
+
+// SubmitWait proposes cmd and blocks until the accepting node has applied
+// the entry at the assigned index — i.e. the command is committed and
+// visible in that node's state machine. If leadership changes before
+// commit it retries the submission from scratch.
+func (c *Client) SubmitWait(ctx context.Context, cmd any) (index int, err error) {
+	for {
+		idx, id, err := c.Submit(ctx, cmd)
+		if err != nil {
+			return 0, err
+		}
+		applied, err := c.waitApplied(ctx, id, idx)
+		if err != nil {
+			return 0, err
+		}
+		if applied {
+			return idx, nil
+		}
+		// The entry was lost to a leadership change; resubmit.
+	}
+}
+
+// waitApplied polls node id until lastApplied covers index (true), or the
+// node's log no longer contains our proposal's term at that position
+// because a new leader truncated it (false → caller resubmits).
+func (c *Client) waitApplied(ctx context.Context, id, index int) (bool, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("raft: client: %w", err)
+		}
+		st := c.nodes[id].Status()
+		switch {
+		case st.LastApplied >= index:
+			return true, nil
+		case st.LogLength < index:
+			// Truncated by a new leader: the entry is gone.
+			return false, nil
+		case st.State != Leader && st.Term == 0:
+			// Stopped node (zero status); treat as lost.
+			return false, nil
+		}
+		c.clock.Sleep(c.backoff)
+	}
+}

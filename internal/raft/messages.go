@@ -1,0 +1,154 @@
+// Package raft is a from-scratch implementation of the Raft consensus
+// algorithm (Ongaro & Ousterhout, USENIX ATC 2014) in the asynchronous
+// message-passing model: leader election with randomized timers, log
+// replication with conflict repair, commit-index advancement restricted
+// to current-term entries, and state-machine application.
+//
+// On top of the general log-replication machine the package provides what
+// the paper's Section 4.3 actually uses:
+//
+//   - single-decree consensus via the D&S(v) ("decide and stop applying")
+//     command and the DecideOnce state machine (the paper's Algorithm 7),
+//     and
+//   - the decomposition view: Raft as a VacillateAdoptCommit object whose
+//     reconciliator is the randomized election timer (Algorithms 10–11).
+//
+// Timers run against internal/sim.Clock, so the protocol is testable on a
+// manually advanced clock and deployable on the real one; messages travel
+// over any msgnet.Endpoint (the in-memory simulator or the TCP
+// transport).
+//
+// The package also carries the production features the Raft paper and
+// dissertation describe beyond the core protocol: durable Storage for
+// term/vote/log/snapshots (crash-recovery with the paper's "wake up with
+// an outdated log" semantics — see the restart tests), leader no-op
+// entries (§5.4.2), log compaction with InstallSnapshot catch-up (§7),
+// the PreVote extension (dissertation §9.6), and a redirect-following
+// retrying Client.
+package raft
+
+import "fmt"
+
+// The four message types of the paper's Figure 1.
+
+// RequestVote solicits a vote for CandidateID in Term. LastLogIndex and
+// LastLogTerm describe the candidate's log so voters can enforce the
+// up-to-date restriction.
+type RequestVote struct {
+	Term         int
+	CandidateID  int
+	LastLogIndex int
+	LastLogTerm  int
+}
+
+// String implements fmt.Stringer.
+func (m RequestVote) String() string {
+	return fmt.Sprintf("RequestVote{t=%d cand=%d lastIdx=%d lastTerm=%d}",
+		m.Term, m.CandidateID, m.LastLogIndex, m.LastLogTerm)
+}
+
+// PreVote probes whether an election for Term (the sender's currentTerm
+// + 1) could succeed, without disturbing anyone's actual term — the
+// standard PreVote extension (Raft dissertation §9.6) that stops
+// partitioned processors from inflating terms and deposing a healthy
+// leader on reconnection. Enabled via Config.PreVote.
+type PreVote struct {
+	Term         int // the term the sender would campaign in
+	CandidateID  int
+	LastLogIndex int
+	LastLogTerm  int
+}
+
+// String implements fmt.Stringer.
+func (m PreVote) String() string {
+	return fmt.Sprintf("PreVote{t=%d cand=%d lastIdx=%d lastTerm=%d}",
+		m.Term, m.CandidateID, m.LastLogIndex, m.LastLogTerm)
+}
+
+// PreVoteReply grants or denies a PreVote probe. Term is the responder's
+// actual current term, so a stale prober can catch up.
+type PreVoteReply struct {
+	Term    int
+	Granted bool
+}
+
+// String implements fmt.Stringer.
+func (m PreVoteReply) String() string {
+	return fmt.Sprintf("PreVoteReply{t=%d granted=%v}", m.Term, m.Granted)
+}
+
+// RequestVoteReply is the paper's ack_RequestVote[term, voteGranted].
+type RequestVoteReply struct {
+	Term        int
+	VoteGranted bool
+}
+
+// String implements fmt.Stringer.
+func (m RequestVoteReply) String() string {
+	return fmt.Sprintf("RequestVoteReply{t=%d granted=%v}", m.Term, m.VoteGranted)
+}
+
+// AppendEntries carries log entries (or a bare heartbeat / commit-index
+// update when Entries is empty) from the leader. The paper distinguishes
+// two kinds: the first appends tentative entries, the second only raises
+// the commit index; both are this one type, exactly as in Raft.
+type AppendEntries struct {
+	Term         int
+	LeaderID     int
+	PrevLogIndex int
+	PrevLogTerm  int
+	Entries      []Entry
+	LeaderCommit int
+}
+
+// String implements fmt.Stringer.
+func (m AppendEntries) String() string {
+	return fmt.Sprintf("AppendEntries{t=%d leader=%d prev=%d/%d entries=%d commit=%d}",
+		m.Term, m.LeaderID, m.PrevLogIndex, m.PrevLogTerm, len(m.Entries), m.LeaderCommit)
+}
+
+// InstallSnapshot ships a compacted leader's state-machine snapshot to a
+// follower whose log gap has been garbage-collected (Raft §7). The
+// follower answers with AppendEntriesReply{MatchIndex: LastIncludedIndex}.
+type InstallSnapshot struct {
+	Term              int
+	LeaderID          int
+	LastIncludedIndex int
+	LastIncludedTerm  int
+	Data              []byte
+}
+
+// String implements fmt.Stringer.
+func (m InstallSnapshot) String() string {
+	return fmt.Sprintf("InstallSnapshot{t=%d leader=%d last=%d/%d bytes=%d}",
+		m.Term, m.LeaderID, m.LastIncludedIndex, m.LastIncludedTerm, len(m.Data))
+}
+
+// AppendEntriesReply is the paper's ack_AppendEntries[term, success],
+// extended with MatchIndex: over a raw asynchronous message channel there
+// is no RPC session to correlate an ack with its request, so the follower
+// reports how far its log provably matches the leader's. (RPC-based Raft
+// implementations reconstruct this from the in-flight request instead.)
+type AppendEntriesReply struct {
+	Term       int
+	Success    bool
+	MatchIndex int
+}
+
+// String implements fmt.Stringer.
+func (m AppendEntriesReply) String() string {
+	return fmt.Sprintf("AppendEntriesReply{t=%d ok=%v match=%d}", m.Term, m.Success, m.MatchIndex)
+}
+
+// WireTypes lists every message type this package puts on the network,
+// for registration with gob-based transports. Entry commands must be
+// registered separately by the application (see transport.Register).
+func WireTypes() []any {
+	return []any{
+		RequestVote{}, RequestVoteReply{},
+		PreVote{}, PreVoteReply{},
+		AppendEntries{}, AppendEntriesReply{},
+		InstallSnapshot{},
+		Entry{}, DS{}, KVCommand{}, Noop{},
+	}
+}

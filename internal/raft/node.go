@@ -1,0 +1,866 @@
+package raft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ooc/internal/msgnet"
+	"ooc/internal/sim"
+	"ooc/internal/trace"
+)
+
+// ErrNotLeader is returned by Propose on a non-leader; it carries the
+// last known leader as a redirect hint.
+type ErrNotLeader struct {
+	LeaderID int // none (-1) when unknown
+}
+
+// Error implements error.
+func (e ErrNotLeader) Error() string {
+	return fmt.Sprintf("raft: not leader (known leader: %d)", e.LeaderID)
+}
+
+// ErrStopped is returned once the node's context has been cancelled.
+var ErrStopped = errors.New("raft: node stopped")
+
+// Config configures a Node.
+type Config struct {
+	// ID is this node's index in [0, N); Endpoint its network handle.
+	ID       int
+	Endpoint msgnet.Endpoint
+	// Clock defaults to the real clock; tests inject sim.NewFakeClock().
+	Clock sim.Clock
+	// RNG drives election-timer randomization. Required.
+	RNG *sim.RNG
+	// ElectionTimeout is the base T of the randomized election timer;
+	// actual timeouts are uniform in [T, 2T). Default 150ms.
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's replication cadence. Default
+	// ElectionTimeout/5.
+	HeartbeatInterval time.Duration
+	// StateMachine receives committed entries in order; may be nil.
+	StateMachine StateMachine
+	// Storage, if non-nil, persists currentTerm/votedFor/log: the node
+	// restores from it in NewNode and persists before acting on any state
+	// change. A node restarted with the same Storage resumes safely (it
+	// keeps its vote and log across the crash).
+	Storage Storage
+	// SnapshotThreshold triggers log compaction: once more than this many
+	// entries have been applied beyond the last snapshot, the node asks
+	// its StateMachine (which must implement Snapshotter) for a snapshot
+	// and discards the covered log prefix. Followers that fall behind the
+	// compaction point are caught up with InstallSnapshot. 0 disables
+	// compaction.
+	SnapshotThreshold int
+	// PreVote enables the PreVote extension: before a real election the
+	// node probes whether a majority would grant it a vote for term+1,
+	// and only then increments its term. A processor cut off from the
+	// majority therefore never inflates its term, and cannot depose a
+	// healthy leader when it reconnects.
+	PreVote bool
+	// ManualCampaign disables automatic candidacy on timeout: the timer
+	// only emits EventTimeout and the application calls Campaign. This is
+	// the mode the VAC decomposition runs in, where the reconciliator —
+	// not the node — owns the timer's consequence.
+	ManualCampaign bool
+	// Recorder, if non-nil, receives trace events.
+	Recorder *trace.Recorder
+}
+
+func (c *Config) normalize() error {
+	if c.Endpoint == nil {
+		return errors.New("raft: Config.Endpoint is required")
+	}
+	if c.RNG == nil {
+		return errors.New("raft: Config.RNG is required")
+	}
+	if c.ID < 0 || c.ID >= c.Endpoint.N() {
+		return fmt.Errorf("raft: id %d out of range [0,%d)", c.ID, c.Endpoint.N())
+	}
+	if c.Clock == nil {
+		c.Clock = sim.RealClock{}
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 150 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.ElectionTimeout / 5
+	}
+	return nil
+}
+
+// Node is one Raft processor. Create with NewNode, run with Start, then
+// interact via Propose, Campaign, Status, and Subscribe. All protocol
+// state is confined to the run goroutine.
+type Node struct {
+	cfg Config
+	n   int
+
+	hs       hardState
+	ls       *leaderState
+	votes    map[int]bool
+	preVotes map[int]bool // nil unless a pre-vote probe is in flight
+	campaign any          // value to propose upon winning a manual campaign
+
+	electionDeadline time.Time
+
+	fatal error // set on persistence failure; stops the loop
+
+	proposeCh  chan proposeReq
+	campaignCh chan any
+	statusCh   chan chan Status
+	stopped    chan struct{}
+	stopOnce   sync.Once
+
+	subMu sync.Mutex
+	subs  []*Subscription
+}
+
+type proposeReq struct {
+	cmd   any
+	reply chan proposeReply
+}
+
+type proposeReply struct {
+	index int
+	err   error
+}
+
+// NewNode validates cfg and builds a node; call Start to run it. When
+// cfg.Storage is set, the persisted term, vote, and log are restored
+// here — the crash-recovery path.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	nd := &Node{
+		cfg:        cfg,
+		n:          cfg.Endpoint.N(),
+		hs:         hardState{votedFor: none, state: Follower, leaderID: none},
+		proposeCh:  make(chan proposeReq),
+		campaignCh: make(chan any, 1),
+		statusCh:   make(chan chan Status),
+		stopped:    make(chan struct{}),
+	}
+	if cfg.Storage != nil {
+		st, err := cfg.Storage.Load()
+		if err != nil {
+			return nil, fmt.Errorf("raft: restore: %w", err)
+		}
+		nd.hs.currentTerm = st.Term
+		nd.hs.votedFor = st.VotedFor
+		nd.hs.log.entries = append([]Entry(nil), st.Entries...)
+		if st.SnapIndex > 0 {
+			nd.hs.log.snapIndex = st.SnapIndex
+			nd.hs.log.snapTerm = st.SnapTerm
+			nd.hs.commitIndex = st.SnapIndex
+			nd.hs.lastApplied = st.SnapIndex
+			if st.SnapData != nil {
+				snap, ok := cfg.StateMachine.(Snapshotter)
+				if !ok {
+					return nil, errors.New("raft: restore: persisted snapshot but state machine is not a Snapshotter")
+				}
+				if err := snap.RestoreSnapshot(st.SnapIndex, st.SnapData); err != nil {
+					return nil, fmt.Errorf("raft: restore snapshot: %w", err)
+				}
+			}
+		}
+	}
+	return nd, nil
+}
+
+// persistSnapshot durably records a compaction snapshot.
+func (nd *Node) persistSnapshot(index, term int, data []byte) {
+	if nd.cfg.Storage == nil || nd.fatal != nil {
+		return
+	}
+	if err := nd.cfg.Storage.SaveSnapshot(index, term, data); err != nil {
+		nd.fatal = err
+	}
+}
+
+// persistState durably records term and vote; on failure the node stops
+// rather than risk violating election safety after a restart.
+func (nd *Node) persistState() {
+	if nd.cfg.Storage == nil || nd.fatal != nil {
+		return
+	}
+	if err := nd.cfg.Storage.SetState(nd.hs.currentTerm, nd.hs.votedFor); err != nil {
+		nd.fatal = err
+	}
+}
+
+// persistLog durably records a log mutation (same semantics as
+// Storage.TruncateAndAppend).
+func (nd *Node) persistLog(prevIndex int, entries []Entry) {
+	if nd.cfg.Storage == nil || nd.fatal != nil {
+		return
+	}
+	if err := nd.cfg.Storage.TruncateAndAppend(prevIndex, entries); err != nil {
+		nd.fatal = err
+	}
+}
+
+// Start launches the node's goroutines. The node runs until ctx is
+// cancelled or its endpoint dies (crash injection / network close).
+func (nd *Node) Start(ctx context.Context) {
+	msgCh := make(chan msgnet.Message)
+	go nd.receive(ctx, msgCh)
+	go nd.run(ctx, msgCh)
+}
+
+// receive pumps the endpoint into the main loop.
+func (nd *Node) receive(ctx context.Context, msgCh chan<- msgnet.Message) {
+	for {
+		m, err := nd.cfg.Endpoint.Recv(ctx)
+		if err != nil {
+			close(msgCh)
+			return
+		}
+		select {
+		case msgCh <- m:
+		case <-ctx.Done():
+			return
+		case <-nd.stopped:
+			return
+		}
+	}
+}
+
+// run is the main loop; all hardState access happens here.
+func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
+	defer nd.shutdown()
+
+	clock := nd.cfg.Clock
+	nd.electionDeadline = clock.Now().Add(nd.randTimeout())
+	electionTimer := clock.NewTimer(nd.randTimeout())
+	heartbeat := clock.NewTimer(nd.cfg.HeartbeatInterval)
+	defer electionTimer.Stop()
+	defer heartbeat.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+
+		case m, ok := <-msgCh:
+			if !ok {
+				return // endpoint crashed or network closed
+			}
+			nd.handleMessage(m)
+
+		case <-electionTimer.C():
+			now := clock.Now()
+			if !now.Before(nd.electionDeadline) && nd.hs.state != Leader {
+				nd.onElectionTimeout()
+			}
+			electionTimer.Reset(nd.timerSleep(clock))
+
+		case <-heartbeat.C():
+			if nd.hs.state == Leader {
+				nd.broadcastAppend()
+			}
+			heartbeat.Reset(nd.cfg.HeartbeatInterval)
+
+		case req := <-nd.proposeCh:
+			req.reply <- nd.handlePropose(req.cmd)
+
+		case v := <-nd.campaignCh:
+			nd.campaign = v
+			nd.becomeCandidate()
+
+		case ch := <-nd.statusCh:
+			ch <- nd.statusLocked()
+		}
+		if nd.fatal != nil {
+			nd.cfg.Recorder.Note(nd.cfg.ID, "raft: fatal: %v", nd.fatal)
+			return
+		}
+	}
+}
+
+// timerSleep computes how long the election timer should sleep: until the
+// current deadline, which message arrivals keep pushing forward.
+func (nd *Node) timerSleep(clock sim.Clock) time.Duration {
+	d := nd.electionDeadline.Sub(clock.Now())
+	if d <= 0 {
+		// Deadline already due (we just acted on it, or it expires now):
+		// sleep a fresh random interval.
+		return nd.randTimeout()
+	}
+	return d
+}
+
+func (nd *Node) shutdown() {
+	nd.stopOnce.Do(func() { close(nd.stopped) })
+	nd.subMu.Lock()
+	defer nd.subMu.Unlock()
+	for _, s := range nd.subs {
+		s.q.close()
+	}
+}
+
+func (nd *Node) randTimeout() time.Duration {
+	base := nd.cfg.ElectionTimeout
+	return base + time.Duration(nd.cfg.RNG.Int63()%int64(base))
+}
+
+func (nd *Node) pushDeadline() {
+	nd.electionDeadline = nd.cfg.Clock.Now().Add(nd.randTimeout())
+}
+
+// onElectionTimeout fires the paper's across-state response: "if Timer T
+// runs out: initialize T randomly, increment term and start algorithm 7".
+func (nd *Node) onElectionTimeout() {
+	nd.pushDeadline()
+	nd.emit(Event{Kind: EventTimeout, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
+	if nd.cfg.ManualCampaign {
+		return
+	}
+	if nd.cfg.PreVote {
+		nd.startPreVote()
+		return
+	}
+	nd.becomeCandidate()
+}
+
+// startPreVote probes the cluster for a would-be election in term+1
+// without touching any durable state.
+func (nd *Node) startPreVote() {
+	nd.preVotes = map[int]bool{nd.cfg.ID: true}
+	if 2*len(nd.preVotes) > nd.n { // single-node cluster
+		nd.becomeCandidate()
+		return
+	}
+	probe := PreVote{
+		Term:         nd.hs.currentTerm + 1,
+		CandidateID:  nd.cfg.ID,
+		LastLogIndex: nd.hs.log.lastIndex(),
+		LastLogTerm:  nd.hs.log.lastTerm(),
+	}
+	for peer := 0; peer < nd.n; peer++ {
+		if peer != nd.cfg.ID {
+			nd.send(peer, probe)
+		}
+	}
+}
+
+// onPreVote answers a probe. The grant rule is deliberately stricter
+// than a real vote: the responder must itself have lost contact with a
+// leader (its election deadline expired, or it knows no leader), so a
+// live leader's followers collectively veto disruption.
+func (nd *Node) onPreVote(from int, m PreVote) {
+	leaderAlive := nd.hs.leaderID != none && nd.cfg.Clock.Now().Before(nd.electionDeadline)
+	grant := m.Term > nd.hs.currentTerm &&
+		nd.hs.log.upToDate(m.LastLogIndex, m.LastLogTerm) &&
+		!leaderAlive
+	nd.send(from, PreVoteReply{Term: nd.hs.currentTerm, Granted: grant})
+}
+
+func (nd *Node) onPreVoteReply(from int, m PreVoteReply) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+		return
+	}
+	if nd.preVotes == nil || nd.hs.state == Leader || !m.Granted {
+		return
+	}
+	nd.preVotes[from] = true
+	if 2*len(nd.preVotes) > nd.n {
+		nd.preVotes = nil
+		nd.becomeCandidate()
+	}
+}
+
+// Campaign asks the node to start an election now and, upon winning, to
+// propose value (nil = nothing). It is how the VAC reconciliator restarts
+// the protocol. Non-blocking: a pending campaign request is replaced.
+func (nd *Node) Campaign(value any) {
+	select {
+	case nd.campaignCh <- value:
+	case <-nd.stopped:
+	default:
+		// An election request is already queued; one is enough.
+	}
+}
+
+// Propose appends a command to the replicated log. Only the leader
+// accepts; others return ErrNotLeader with a redirect hint. Success means
+// the entry is in the leader's log, not yet that it is committed — watch
+// EventCommitted or the state machine for that.
+func (nd *Node) Propose(ctx context.Context, cmd any) (index int, err error) {
+	req := proposeReq{cmd: cmd, reply: make(chan proposeReply, 1)}
+	select {
+	case nd.proposeCh <- req:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-nd.stopped:
+		return 0, ErrStopped
+	}
+	select {
+	case rep := <-req.reply:
+		return rep.index, rep.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-nd.stopped:
+		return 0, ErrStopped
+	}
+}
+
+// Done is closed when the node has fully stopped. Restart orchestration
+// (crash-recovery with a shared endpoint or storage) must wait for it
+// before booting a replacement node.
+func (nd *Node) Done() <-chan struct{} { return nd.stopped }
+
+// Status snapshots the node's state.
+func (nd *Node) Status() Status {
+	ch := make(chan Status, 1)
+	select {
+	case nd.statusCh <- ch:
+		return <-ch
+	case <-nd.stopped:
+		return Status{ID: nd.cfg.ID, LeaderID: none}
+	}
+}
+
+func (nd *Node) statusLocked() Status {
+	return Status{
+		ID:            nd.cfg.ID,
+		Term:          nd.hs.currentTerm,
+		State:         nd.hs.state,
+		LeaderID:      nd.hs.leaderID,
+		CommitIndex:   nd.hs.commitIndex,
+		LastApplied:   nd.hs.lastApplied,
+		LogLength:     nd.hs.log.lastIndex(),
+		LastLogTerm:   nd.hs.log.lastTerm(),
+		SnapshotIndex: nd.hs.log.snapIndex,
+	}
+}
+
+// Subscription delivers a node's events in order, without loss.
+type Subscription struct {
+	q *eventQueue
+}
+
+// Next returns the next event, blocking until one arrives, the context is
+// cancelled, or the node stops.
+func (s *Subscription) Next(ctx context.Context) (Event, error) {
+	return s.q.pop(ctx)
+}
+
+// Subscribe registers a new event stream. Events emitted before the
+// subscription are not replayed.
+func (nd *Node) Subscribe() *Subscription {
+	s := &Subscription{q: newEventQueue()}
+	nd.subMu.Lock()
+	defer nd.subMu.Unlock()
+	nd.subs = append(nd.subs, s)
+	return s
+}
+
+func (nd *Node) emit(e Event) {
+	nd.subMu.Lock()
+	defer nd.subMu.Unlock()
+	for _, s := range nd.subs {
+		s.q.push(e)
+	}
+}
+
+// ---- message handling (main loop only) ----
+
+func (nd *Node) handleMessage(m msgnet.Message) {
+	switch p := m.Payload.(type) {
+	case RequestVote:
+		nd.onRequestVote(m.From, p)
+	case RequestVoteReply:
+		nd.onRequestVoteReply(m.From, p)
+	case PreVote:
+		nd.onPreVote(m.From, p)
+	case PreVoteReply:
+		nd.onPreVoteReply(m.From, p)
+	case AppendEntries:
+		nd.onAppendEntries(m.From, p)
+	case InstallSnapshot:
+		nd.onInstallSnapshot(m.From, p)
+	case AppendEntriesReply:
+		nd.onAppendEntriesReply(m.From, p)
+	default:
+		nd.cfg.Recorder.Note(nd.cfg.ID, "raft: dropping foreign message %T", m.Payload)
+	}
+}
+
+func (nd *Node) send(to int, payload any) {
+	// Send failures mean we crashed or the network is gone; the receive
+	// pump will notice and stop the loop, so they are safe to drop here.
+	_ = nd.cfg.Endpoint.Send(to, payload)
+}
+
+func (nd *Node) onRequestVote(from int, m RequestVote) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+	}
+	grant := false
+	if m.Term == nd.hs.currentTerm &&
+		(nd.hs.votedFor == none || nd.hs.votedFor == m.CandidateID) &&
+		nd.hs.log.upToDate(m.LastLogIndex, m.LastLogTerm) {
+		grant = true
+		nd.hs.votedFor = m.CandidateID
+		nd.persistState()
+		nd.pushDeadline()
+	}
+	nd.send(from, RequestVoteReply{Term: nd.hs.currentTerm, VoteGranted: grant})
+}
+
+func (nd *Node) onRequestVoteReply(from int, m RequestVoteReply) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+		return
+	}
+	if nd.hs.state != Candidate || m.Term != nd.hs.currentTerm || !m.VoteGranted {
+		return
+	}
+	nd.votes[from] = true
+	if 2*len(nd.votes) > nd.n {
+		nd.becomeLeader()
+	}
+}
+
+func (nd *Node) onAppendEntries(from int, m AppendEntries) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+	}
+	if m.Term < nd.hs.currentTerm {
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false})
+		return
+	}
+	// Same term: recognize the leader; a candidate yields.
+	if nd.hs.state != Follower {
+		nd.hs.state = Follower
+		nd.ls = nil
+		nd.emit(Event{Kind: EventBecameFollower, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
+	}
+	nd.hs.leaderID = m.LeaderID
+	nd.pushDeadline()
+
+	// Entries at or below our compaction point are committed and applied
+	// already; renormalize the consistency check to the snapshot marker.
+	if m.PrevLogIndex < nd.hs.log.snapIndex {
+		cut := nd.hs.log.snapIndex - m.PrevLogIndex
+		if cut >= len(m.Entries) {
+			nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: nd.hs.log.snapIndex})
+			return
+		}
+		m.Entries = m.Entries[cut:]
+		m.PrevLogIndex = nd.hs.log.snapIndex
+		m.PrevLogTerm = nd.hs.log.snapTerm
+	}
+
+	if !nd.hs.log.matches(m.PrevLogIndex, m.PrevLogTerm) {
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false})
+		return
+	}
+	before := nd.hs.log.lastIndex()
+	lastNew, _ := nd.hs.log.appendAfter(m.PrevLogIndex, m.Entries)
+	if len(m.Entries) > 0 {
+		nd.persistLog(m.PrevLogIndex, m.Entries)
+	}
+	for idx := before + 1; idx <= nd.hs.log.lastIndex() && idx <= lastNew; idx++ {
+		e, _ := nd.hs.log.entryAt(idx)
+		nd.emit(Event{Kind: EventAppended, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: idx, Command: e.Command})
+	}
+	if m.LeaderCommit > nd.hs.commitIndex {
+		nd.setCommitIndex(min(m.LeaderCommit, lastNew))
+	}
+	nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: lastNew})
+}
+
+func (nd *Node) onAppendEntriesReply(from int, m AppendEntriesReply) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+		return
+	}
+	if nd.hs.state != Leader || m.Term != nd.hs.currentTerm {
+		return
+	}
+	if m.Success {
+		if m.MatchIndex > nd.ls.matchIndex[from] {
+			nd.ls.matchIndex[from] = m.MatchIndex
+		}
+		nd.ls.nextIndex[from] = nd.ls.matchIndex[from] + 1
+		nd.advanceCommit()
+		if nd.ls.nextIndex[from] <= nd.hs.log.lastIndex() {
+			nd.sendAppend(from)
+		}
+		return
+	}
+	// Rejected: walk back one entry and retry with an earlier log, the
+	// paper's "decrement NextIndex[i], resend AppendEntries".
+	if nd.ls.nextIndex[from] > 1 {
+		nd.ls.nextIndex[from]--
+	}
+	nd.sendAppend(from)
+}
+
+// ---- role transitions (main loop only) ----
+
+func (nd *Node) stepDown(term int) {
+	wasLeader := nd.hs.state != Follower
+	nd.hs.currentTerm = term
+	nd.hs.votedFor = none
+	nd.hs.state = Follower
+	nd.hs.leaderID = none
+	nd.ls = nil
+	nd.votes = nil
+	nd.preVotes = nil
+	nd.persistState()
+	nd.pushDeadline()
+	if wasLeader {
+		nd.emit(Event{Kind: EventBecameFollower, Node: nd.cfg.ID, Term: term})
+	}
+}
+
+func (nd *Node) becomeCandidate() {
+	nd.hs.currentTerm++
+	nd.hs.state = Candidate
+	nd.hs.votedFor = nd.cfg.ID
+	nd.hs.leaderID = none
+	nd.ls = nil
+	nd.votes = map[int]bool{nd.cfg.ID: true}
+	nd.persistState()
+	nd.pushDeadline()
+	nd.emit(Event{Kind: EventBecameCandidate, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
+	nd.cfg.Recorder.Note(nd.cfg.ID, "raft: campaigning in term %d", nd.hs.currentTerm)
+
+	if 2*len(nd.votes) > nd.n { // single-node cluster
+		nd.becomeLeader()
+		return
+	}
+	rv := RequestVote{
+		Term:         nd.hs.currentTerm,
+		CandidateID:  nd.cfg.ID,
+		LastLogIndex: nd.hs.log.lastIndex(),
+		LastLogTerm:  nd.hs.log.lastTerm(),
+	}
+	for peer := 0; peer < nd.n; peer++ {
+		if peer != nd.cfg.ID {
+			nd.send(peer, rv)
+		}
+	}
+}
+
+func (nd *Node) becomeLeader() {
+	nd.hs.state = Leader
+	nd.hs.leaderID = nd.cfg.ID
+	nd.ls = newLeaderState(nd.n, nd.hs.log.lastIndex())
+	nd.ls.matchIndex[nd.cfg.ID] = nd.hs.log.lastIndex()
+	nd.emit(Event{Kind: EventBecameLeader, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
+	nd.cfg.Recorder.Note(nd.cfg.ID, "raft: leader of term %d", nd.hs.currentTerm)
+
+	// The term-opening no-op (§5.4.2): without it, entries inherited from
+	// earlier terms could never commit until a client happened to write.
+	nd.appendLocal(Noop{})
+	if nd.campaign != nil {
+		nd.appendLocal(nd.campaign)
+		nd.campaign = nil
+	}
+	nd.advanceCommit()
+	nd.broadcastAppend()
+}
+
+func (nd *Node) handlePropose(cmd any) proposeReply {
+	if nd.hs.state != Leader {
+		return proposeReply{err: ErrNotLeader{LeaderID: nd.hs.leaderID}}
+	}
+	idx := nd.appendLocal(cmd)
+	nd.advanceCommit() // single-node clusters commit immediately
+	nd.broadcastAppend()
+	return proposeReply{index: idx}
+}
+
+// appendLocal appends a command to the leader's own log.
+func (nd *Node) appendLocal(cmd any) int {
+	idx := nd.hs.log.appendEntry(Entry{Term: nd.hs.currentTerm, Command: cmd})
+	nd.persistLog(idx-1, nd.hs.log.slice(idx))
+	nd.ls.matchIndex[nd.cfg.ID] = idx
+	nd.emit(Event{Kind: EventAppended, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: idx, Command: cmd})
+	return idx
+}
+
+// ---- replication & commitment (main loop only) ----
+
+func (nd *Node) sendAppend(to int) {
+	next := nd.ls.nextIndex[to]
+	if next < 1 {
+		next = 1
+	}
+	if next <= nd.hs.log.snapIndex {
+		nd.sendSnapshot(to)
+		return
+	}
+	prev := next - 1
+	prevTerm, ok := nd.hs.log.termAt(prev)
+	if !ok {
+		prev, prevTerm = 0, 0
+	}
+	nd.send(to, AppendEntries{
+		Term:         nd.hs.currentTerm,
+		LeaderID:     nd.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  prevTerm,
+		Entries:      nd.hs.log.slice(next),
+		LeaderCommit: nd.hs.commitIndex,
+	})
+}
+
+func (nd *Node) broadcastAppend() {
+	for peer := 0; peer < nd.n; peer++ {
+		if peer != nd.cfg.ID {
+			nd.sendAppend(peer)
+		}
+	}
+}
+
+// sendSnapshot ships the current state-machine snapshot to a follower
+// whose next entry has been compacted away.
+func (nd *Node) sendSnapshot(to int) {
+	snap, ok := nd.cfg.StateMachine.(Snapshotter)
+	if !ok {
+		// Compaction only happens with a Snapshotter, so this is
+		// unreachable unless the log was restored inconsistently.
+		nd.cfg.Recorder.Note(nd.cfg.ID, "raft: cannot snapshot: state machine is not a Snapshotter")
+		return
+	}
+	data, err := snap.SnapshotData()
+	if err != nil {
+		nd.fatal = fmt.Errorf("raft: snapshot: %w", err)
+		return
+	}
+	nd.send(to, InstallSnapshot{
+		Term:              nd.hs.currentTerm,
+		LeaderID:          nd.cfg.ID,
+		LastIncludedIndex: nd.hs.log.snapIndex,
+		LastIncludedTerm:  nd.hs.log.snapTerm,
+		Data:              data,
+	})
+}
+
+// onInstallSnapshot applies a leader's snapshot: state machine, log, and
+// commit bookkeeping jump to the snapshot point.
+func (nd *Node) onInstallSnapshot(from int, m InstallSnapshot) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+	}
+	if m.Term < nd.hs.currentTerm {
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false})
+		return
+	}
+	if nd.hs.state != Follower {
+		nd.hs.state = Follower
+		nd.ls = nil
+		nd.emit(Event{Kind: EventBecameFollower, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
+	}
+	nd.hs.leaderID = m.LeaderID
+	nd.pushDeadline()
+
+	if m.LastIncludedIndex <= nd.hs.commitIndex {
+		// Stale snapshot; we are already past it.
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: nd.hs.commitIndex})
+		return
+	}
+	snap, ok := nd.cfg.StateMachine.(Snapshotter)
+	if !ok {
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false})
+		return
+	}
+	if err := snap.RestoreSnapshot(m.LastIncludedIndex, m.Data); err != nil {
+		nd.fatal = fmt.Errorf("raft: install snapshot: %w", err)
+		return
+	}
+	nd.hs.log.restoreSnapshot(m.LastIncludedIndex, m.LastIncludedTerm)
+	nd.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
+	nd.hs.commitIndex = m.LastIncludedIndex
+	nd.hs.lastApplied = m.LastIncludedIndex
+	nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: m.LastIncludedIndex, Command: nil})
+	nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: m.LastIncludedIndex})
+}
+
+// maybeCompact snapshots the state machine and discards the applied log
+// prefix once it exceeds the configured threshold.
+func (nd *Node) maybeCompact() {
+	if nd.cfg.SnapshotThreshold <= 0 {
+		return
+	}
+	if nd.hs.lastApplied-nd.hs.log.snapIndex < nd.cfg.SnapshotThreshold {
+		return
+	}
+	snap, ok := nd.cfg.StateMachine.(Snapshotter)
+	if !ok {
+		return
+	}
+	nd.hs.log.compactTo(nd.hs.lastApplied)
+	if nd.cfg.Storage != nil {
+		data, err := snap.SnapshotData()
+		if err != nil {
+			nd.fatal = fmt.Errorf("raft: snapshot: %w", err)
+			return
+		}
+		nd.persistSnapshot(nd.hs.log.snapIndex, nd.hs.log.snapTerm, data)
+	}
+	nd.cfg.Recorder.Note(nd.cfg.ID, "raft: compacted through index %d", nd.hs.log.snapIndex)
+}
+
+// advanceCommit implements the leader commit rule: the largest N with a
+// majority of MatchIndex ≥ N and log[N].term == currentTerm.
+func (nd *Node) advanceCommit() {
+	if nd.hs.state != Leader {
+		return
+	}
+	for n := nd.hs.log.lastIndex(); n > nd.hs.commitIndex; n-- {
+		if term, _ := nd.hs.log.termAt(n); term != nd.hs.currentTerm {
+			break // only current-term entries commit by counting (§5.4.2)
+		}
+		count := 0
+		for _, match := range nd.ls.matchIndex {
+			if match >= n {
+				count++
+			}
+		}
+		if 2*count > nd.n {
+			nd.setCommitIndex(n)
+			return
+		}
+	}
+}
+
+// setCommitIndex raises the commit index, emitting per-entry commit
+// events and applying to the state machine.
+func (nd *Node) setCommitIndex(index int) {
+	if index <= nd.hs.commitIndex {
+		return
+	}
+	old := nd.hs.commitIndex
+	nd.hs.commitIndex = index
+	for i := old + 1; i <= index; i++ {
+		e, _ := nd.hs.log.entryAt(i)
+		nd.emit(Event{Kind: EventCommitted, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: i, Command: e.Command})
+	}
+	for nd.hs.lastApplied < nd.hs.commitIndex {
+		nd.hs.lastApplied++
+		e, _ := nd.hs.log.entryAt(nd.hs.lastApplied)
+		if nd.cfg.StateMachine != nil {
+			nd.cfg.StateMachine.Apply(nd.hs.lastApplied, e.Command)
+		}
+		nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: nd.hs.lastApplied, Command: e.Command})
+	}
+	nd.maybeCompact()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package raft
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Storage persists the Raft state that must survive a crash: currentTerm,
+// votedFor, and the log. A node configured with a Storage restores from
+// it in NewNode and persists before acting on any state change, per the
+// Raft paper's durability rules. CommitIndex and lastApplied are volatile
+// and rebuilt from the leader after restart.
+//
+// Implementations must be safe for use from one goroutine (the node's
+// main loop); they need not be safe for concurrent nodes.
+type Storage interface {
+	// SetState durably records the term and vote.
+	SetState(term, votedFor int) error
+	// TruncateAndAppend durably applies a log mutation with exactly the
+	// in-memory appendAfter semantics: entries already present with the
+	// same term are left untouched (asynchronous networks redeliver old
+	// AppendEntries out of order), a term conflict truncates the suffix,
+	// and new entries are appended. Indexes at or below the last saved
+	// snapshot are silently skipped.
+	TruncateAndAppend(prevIndex int, entries []Entry) error
+	// SaveSnapshot durably records a state-machine snapshot covering the
+	// log through index; entries up to it may be discarded.
+	SaveSnapshot(index, term int, data []byte) error
+	// Load restores the persisted state; a fresh store returns zero
+	// values and no error.
+	Load() (PersistentState, error)
+}
+
+// PersistentState is the durable part of Figure 2, plus the compaction
+// snapshot. Entries holds the log tail after SnapIndex; Entries[i] is
+// global index SnapIndex+1+i.
+type PersistentState struct {
+	Term      int
+	VotedFor  int // none (-1) when unset; Load on a fresh store returns none
+	SnapIndex int
+	SnapTerm  int
+	SnapData  []byte // nil when no snapshot was saved
+	Entries   []Entry
+}
+
+// MemStorage keeps the persistent state in memory — it survives a *node*
+// restart (the crash-recovery tests) though not a process restart.
+// Create it with NewMemStorage.
+type MemStorage struct {
+	mu        sync.Mutex
+	term      int
+	votedFor  int
+	snapIndex int
+	snapTerm  int
+	snapData  []byte
+	entries   []Entry // tail after snapIndex
+}
+
+var _ Storage = (*MemStorage)(nil)
+
+// NewMemStorage returns an empty in-memory store.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{votedFor: none}
+}
+
+// SetState implements Storage.
+func (s *MemStorage) SetState(term, votedFor int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.term, s.votedFor = term, votedFor
+	return nil
+}
+
+// TruncateAndAppend implements Storage.
+func (s *MemStorage) TruncateAndAppend(prevIndex int, entries []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	s.entries, err = spliceTail(s.entries, s.snapIndex, prevIndex, entries)
+	return err
+}
+
+// SaveSnapshot implements Storage.
+func (s *MemStorage) SaveSnapshot(index, term int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = dropThrough(s.entries, s.snapIndex, index)
+	s.snapIndex, s.snapTerm = index, term
+	s.snapData = append([]byte(nil), data...)
+	return nil
+}
+
+// spliceTail applies TruncateAndAppend semantics to a tail slice whose
+// first element has global index offset+1. It mirrors
+// raftLog.appendAfter exactly: already-present same-term entries are
+// kept (a stale redelivered AppendEntries must not shorten the persisted
+// log), and only a term conflict truncates.
+func spliceTail(tail []Entry, offset, prevIndex int, entries []Entry) ([]Entry, error) {
+	if prevIndex < 0 {
+		return tail, fmt.Errorf("raft: negative log index %d", prevIndex)
+	}
+	if prevIndex < offset {
+		cut := offset - prevIndex
+		if cut >= len(entries) {
+			return tail, nil // everything is inside the snapshot already
+		}
+		entries = entries[cut:]
+		prevIndex = offset
+	}
+	if prevIndex-offset > len(tail) {
+		return tail, fmt.Errorf("raft: truncate beyond log: prev=%d offset=%d len=%d", prevIndex, offset, len(tail))
+	}
+	for i, e := range entries {
+		pos := prevIndex - offset + i
+		if pos < len(tail) {
+			if tail[pos].Term == e.Term {
+				continue // already persisted
+			}
+			tail = tail[:pos]
+		}
+		tail = append(tail, e)
+	}
+	return tail, nil
+}
+
+// dropThrough discards tail entries with global index <= through.
+func dropThrough(tail []Entry, offset, through int) []Entry {
+	keep := through - offset
+	if keep <= 0 {
+		return tail
+	}
+	if keep >= len(tail) {
+		return nil
+	}
+	return append([]Entry(nil), tail[keep:]...)
+}
+
+// Load implements Storage.
+func (s *MemStorage) Load() (PersistentState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PersistentState{
+		Term:      s.term,
+		VotedFor:  s.votedFor,
+		SnapIndex: s.snapIndex,
+		SnapTerm:  s.snapTerm,
+		SnapData:  append([]byte(nil), s.snapData...),
+		Entries:   append([]Entry(nil), s.entries...),
+	}, nil
+}
+
+// record is one append-only entry in a FileStorage log.
+type record struct {
+	Kind      recordKind
+	Term      int
+	VotedFor  int
+	PrevIndex int
+	Entries   []Entry
+	SnapIndex int
+	SnapTerm  int
+	SnapData  []byte
+}
+
+type recordKind int
+
+const (
+	recordState recordKind = iota + 1
+	recordLog
+	recordSnapshot
+)
+
+// FileStorage is an append-only on-disk store: every state change is a
+// gob record appended to the file, and Load replays the records. Simple,
+// durable-per-write (via Sync), and crash-consistent: a torn final
+// record is discarded on replay.
+type FileStorage struct {
+	path string
+	f    *os.File
+	enc  *gob.Encoder
+}
+
+var _ Storage = (*FileStorage)(nil)
+
+// OpenFileStorage opens (or creates) the store at path. Entry commands
+// must be gob-registered (see transport.Register / raft.WireTypes).
+func OpenFileStorage(path string) (*FileStorage, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("raft: open storage: %w", err)
+	}
+	return &FileStorage{path: path, f: f, enc: gob.NewEncoder(f)}, nil
+}
+
+// Close releases the file handle.
+func (s *FileStorage) Close() error { return s.f.Close() }
+
+func (s *FileStorage) append(r record) error {
+	if err := s.enc.Encode(r); err != nil {
+		return fmt.Errorf("raft: persist: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("raft: fsync: %w", err)
+	}
+	return nil
+}
+
+// SetState implements Storage.
+func (s *FileStorage) SetState(term, votedFor int) error {
+	return s.append(record{Kind: recordState, Term: term, VotedFor: votedFor})
+}
+
+// TruncateAndAppend implements Storage.
+func (s *FileStorage) TruncateAndAppend(prevIndex int, entries []Entry) error {
+	return s.append(record{Kind: recordLog, PrevIndex: prevIndex, Entries: entries})
+}
+
+// SaveSnapshot implements Storage.
+func (s *FileStorage) SaveSnapshot(index, term int, data []byte) error {
+	return s.append(record{Kind: recordSnapshot, SnapIndex: index, SnapTerm: term, SnapData: data})
+}
+
+// Load implements Storage by replaying the record log. It must be called
+// on a freshly opened store, before any writes.
+func (s *FileStorage) Load() (PersistentState, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return PersistentState{}, fmt.Errorf("raft: load storage: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	dec := gob.NewDecoder(f)
+	st := PersistentState{VotedFor: none}
+	for {
+		var r record
+		if err := dec.Decode(&r); err != nil {
+			if errors.Is(err, io.EOF) {
+				return st, nil
+			}
+			// A torn tail (crash mid-write) ends the usable prefix.
+			return st, nil
+		}
+		switch r.Kind {
+		case recordState:
+			st.Term, st.VotedFor = r.Term, r.VotedFor
+		case recordLog:
+			var serr error
+			st.Entries, serr = spliceTail(st.Entries, st.SnapIndex, r.PrevIndex, r.Entries)
+			if serr != nil {
+				return st, fmt.Errorf("raft: corrupt storage: %w", serr)
+			}
+		case recordSnapshot:
+			st.Entries = dropThrough(st.Entries, st.SnapIndex, r.SnapIndex)
+			st.SnapIndex, st.SnapTerm = r.SnapIndex, r.SnapTerm
+			st.SnapData = r.SnapData
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sharedmem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ooc/internal/core"
+)
+
+// ACStore is Gafni's wait-free adopt-commit over two snapshot arrays per
+// round:
+//
+//	AC(v):
+//	  proposals.Update(i, v); P ← proposals.Snapshot()
+//	  if P holds only v:  checks.Update(i, (commit-bid, v))
+//	  else:               checks.Update(i, (no-bid, u))   for some u ∈ P
+//	  C ← checks.Snapshot()
+//	  if C holds only commit-bids (necessarily one value w): (commit, w)
+//	  elif C holds a commit-bid for w:                       (adopt, w)
+//	  else:                                                  (adopt, own)
+//
+// At most one value can ever win a commit-bid in a round: two unanimity
+// snapshots with different values would each have to precede the other's
+// Update, which the single linearization order forbids. That gives
+// coherence; unanimous inputs give convergence.
+type ACStore struct {
+	n      int
+	mu     sync.Mutex
+	rounds map[int]*acArrays
+}
+
+type acArrays struct {
+	proposals *Array
+	checks    *Array
+}
+
+type checkMark struct {
+	commit bool
+	value  int
+}
+
+// NewACStore creates the per-round shared arrays for n processors.
+func NewACStore(n int) *ACStore {
+	if n <= 0 {
+		panic(fmt.Sprintf("sharedmem: invalid processor count %d", n))
+	}
+	return &ACStore{n: n, rounds: make(map[int]*acArrays)}
+}
+
+func (s *ACStore) round(m int) *acArrays {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rounds[m]
+	if !ok {
+		r = &acArrays{proposals: NewArray(s.n), checks: NewArray(s.n)}
+		s.rounds[m] = r
+	}
+	return r
+}
+
+// Object returns processor id's adopt-commit handle.
+func (s *ACStore) Object(id int) core.AdoptCommit[int] {
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("sharedmem: id %d out of range [0,%d)", id, s.n))
+	}
+	return &acObject{store: s, id: id}
+}
+
+type acObject struct {
+	store *ACStore
+	id    int
+}
+
+var _ core.AdoptCommit[int] = (*acObject)(nil)
+
+// Propose implements core.AdoptCommit.
+func (o *acObject) Propose(ctx context.Context, v int, round int) (core.Confidence, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	r := o.store.round(round)
+
+	proposals := r.proposals.UpdateAndSnapshot(o.id, v)
+	unanimous := true
+	for _, p := range proposals {
+		if p.(int) != v {
+			unanimous = false
+		}
+	}
+	checks := r.checks.UpdateAndSnapshot(o.id, checkMark{commit: unanimous, value: v})
+
+	allCommit := true
+	someCommit := false
+	commitVal := 0
+	for _, raw := range checks {
+		mark := raw.(checkMark)
+		if mark.commit {
+			someCommit = true
+			commitVal = mark.value
+		} else {
+			allCommit = false
+		}
+	}
+	switch {
+	case allCommit && someCommit:
+		return core.Commit, commitVal, nil
+	case someCommit:
+		return core.Adopt, commitVal, nil
+	default:
+		return core.Adopt, v, nil
+	}
+}

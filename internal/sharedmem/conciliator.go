@@ -1,0 +1,115 @@
+package sharedmem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ooc/internal/core"
+	"ooc/internal/sim"
+)
+
+// ConciliatorStore is Aspnes's conciliator for the probabilistic-write
+// model (the headline construction of the paper's reference [2]): one
+// shared register per round, and each processor alternates reads with
+// writes performed only with small, geometrically rising probability.
+//
+//	Conciliate(v):
+//	  for k = 0, 1, 2, ...:
+//	    if r is written: return its value
+//	    with probability 2^k / (2n): write v to r (first write wins)
+//	  return r's value
+//
+// Because writes are rare, with constant probability (> 1/4 for large n)
+// the first write completes before any other processor attempts one, and
+// then every later read adopts it — probabilistic agreement. Validity is
+// trivial (only inputs are written) and termination takes O(log n)
+// expected phases, since by phase log₂(2n) the write probability is 1.
+type ConciliatorStore struct {
+	n  int
+	mu sync.Mutex
+	// rounds maps round -> the shared register for that round.
+	rounds map[int]*Register
+}
+
+// NewConciliatorStore creates the per-round registers for n processors.
+func NewConciliatorStore(n int) *ConciliatorStore {
+	if n <= 0 {
+		panic(fmt.Sprintf("sharedmem: invalid processor count %d", n))
+	}
+	return &ConciliatorStore{n: n, rounds: make(map[int]*Register)}
+}
+
+func (s *ConciliatorStore) round(m int) *Register {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rounds[m]
+	if !ok {
+		r = &Register{}
+		s.rounds[m] = r
+	}
+	return r
+}
+
+// Object returns processor id's conciliator handle driven by rng.
+func (s *ConciliatorStore) Object(id int, rng *sim.RNG) core.Conciliator[int] {
+	return &conciliatorObject{store: s, rng: rng}
+}
+
+type conciliatorObject struct {
+	store *ConciliatorStore
+	rng   *sim.RNG
+}
+
+var _ core.Conciliator[int] = (*conciliatorObject)(nil)
+
+// Conciliate implements core.Conciliator.
+func (o *conciliatorObject) Conciliate(ctx context.Context, _ core.Confidence, v int, round int) (int, error) {
+	r := o.store.round(round)
+	p := 1.0 / float64(2*o.store.n)
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if got, ok := r.Read(); ok {
+			return got.(int), nil
+		}
+		if o.rng.Float64() < p {
+			if r.WriteOnce(v) {
+				return v, nil
+			}
+			// Lost the race: adopt the winner.
+			got, _ := r.Read()
+			return got.(int), nil
+		}
+		if p < 1 {
+			p *= 2
+			if p > 1 {
+				p = 1
+			}
+		}
+	}
+}
+
+// Consensus bundles the two objects into the paper's Algorithm 2 for the
+// shared-memory model: rounds of Gafni's adopt-commit, with Aspnes's
+// probabilistic-write conciliator breaking stalemates.
+type Consensus struct {
+	n   int
+	acs *ACStore
+	cns *ConciliatorStore
+}
+
+// NewConsensus creates the shared objects for n processors.
+func NewConsensus(n int) *Consensus {
+	return &Consensus{n: n, acs: NewACStore(n), cns: NewConciliatorStore(n)}
+}
+
+// Run executes processor id's consensus with input v. Each processor
+// must use its own rng stream.
+func (c *Consensus) Run(ctx context.Context, id int, rng *sim.RNG, v int, opts ...core.Option) (core.Decision[int], error) {
+	if id < 0 || id >= c.n {
+		return core.Decision[int]{}, fmt.Errorf("sharedmem: id %d out of range [0,%d)", id, c.n)
+	}
+	return core.RunAC[int](ctx, c.acs.Object(id), c.cns.Object(id, rng), v, opts...)
+}

@@ -1,0 +1,114 @@
+// Package sharedmem implements the substrate of Aspnes's "A modular
+// approach to shared-memory consensus" (Distributed Computing 2012) —
+// the prior framework the paper extends. It provides:
+//
+//   - wait-free atomic registers and single-writer snapshot objects,
+//   - a register-based adopt-commit object (Gafni's construction),
+//   - Aspnes's conciliator for the probabilistic-write model: processors
+//     write a shared register with small, rising probabilities, so with
+//     constant probability exactly one value lands before anyone reads,
+//   - shared-memory consensus = RunAC(adopt-commit, conciliator), the
+//     paper's Algorithm 2 instantiated in the model it came from.
+//
+// The memory itself is modelled by mutex-protected cells, which is a
+// legitimate (stronger) implementation of atomic registers; wait-freedom
+// of the protocol layers is preserved because no protocol operation
+// blocks on another processor.
+package sharedmem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Register is a multi-reader multi-writer atomic register.
+// The zero value is an empty register.
+type Register struct {
+	mu      sync.Mutex
+	value   any
+	written bool
+}
+
+// Read returns the register contents and whether it was ever written.
+func (r *Register) Read() (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.value, r.written
+}
+
+// Write stores v.
+func (r *Register) Write(v any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.value, r.written = v, true
+}
+
+// WriteOnce stores v only if the register is still empty, atomically,
+// and reports whether this call's value (or a concurrent winner's) now
+// occupies the register. It models the linearization of a write racing
+// with readers in the probabilistic-write model.
+func (r *Register) WriteOnce(v any) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.written {
+		r.value, r.written = v, true
+		return true
+	}
+	return false
+}
+
+// Array is an n-slot single-writer snapshot object: slot i is writable
+// only by processor i, and Snapshot returns an atomic view of all slots.
+type Array struct {
+	mu    sync.Mutex
+	slots []slot
+}
+
+type slot struct {
+	value   any
+	written bool
+}
+
+// NewArray allocates an n-slot snapshot object.
+func NewArray(n int) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("sharedmem: invalid array size %d", n))
+	}
+	return &Array{slots: make([]slot, n)}
+}
+
+// Update writes processor id's slot.
+func (a *Array) Update(id int, v any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.slots[id] = slot{value: v, written: true}
+}
+
+// Snapshot returns the written values, indexed by processor; missing
+// entries are unwritten slots.
+func (a *Array) Snapshot() map[int]any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]any, len(a.slots))
+	for id, s := range a.slots {
+		if s.written {
+			out[id] = s.value
+		}
+	}
+	return out
+}
+
+// UpdateAndSnapshot performs Update and Snapshot as one linearization
+// point — the combined operation Gafni's adopt-commit relies on.
+func (a *Array) UpdateAndSnapshot(id int, v any) map[int]any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.slots[id] = slot{value: v, written: true}
+	out := make(map[int]any, len(a.slots))
+	for i, s := range a.slots {
+		if s.written {
+			out[i] = s.value
+		}
+	}
+	return out
+}

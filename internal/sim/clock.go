@@ -1,0 +1,56 @@
+package sim
+
+import "time"
+
+// Clock abstracts time so that protocol code (most importantly the Raft
+// election machinery) can run against real wall-clock time in production
+// and against a manually advanced clock in deterministic tests.
+type Clock interface {
+	// Now reports the current time on this clock.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// After is a convenience wrapper equivalent to NewTimer(d).C().
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	Sleep(d time.Duration)
+}
+
+// Timer is the subset of *time.Timer the repository relies on.
+type Timer interface {
+	// C is the channel on which the expiry time is delivered.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing; it reports whether the call
+	// stopped a pending fire.
+	Stop() bool
+	// Reset re-arms the timer to fire after d. Reset must only be called
+	// on stopped or expired timers with drained channels, mirroring the
+	// time.Timer contract.
+	Reset(d time.Duration) bool
+}
+
+// RealClock is the production Clock backed by package time.
+// The zero value is ready to use.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// NewTimer implements Clock.
+func (RealClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+type realTimer struct{ t *time.Timer }
+
+var _ Timer = realTimer{}
+
+func (t realTimer) C() <-chan time.Time        { return t.t.C }
+func (t realTimer) Stop() bool                 { return t.t.Stop() }
+func (t realTimer) Reset(d time.Duration) bool { return t.t.Reset(d) }

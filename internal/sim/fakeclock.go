@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FakeClock is a Clock whose time only moves when the test calls Advance.
+// Timers created on a FakeClock fire synchronously inside Advance, which
+// makes timer-driven protocols (Raft elections, retry loops) fully
+// deterministic under test.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeTimer
+}
+
+var _ Clock = (*FakeClock)(nil)
+
+// NewFakeClock returns a FakeClock positioned at a fixed, arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTimer implements Clock.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{
+		clock: c,
+		ch:    make(chan time.Time, 1),
+		at:    c.now.Add(d),
+		armed: true,
+	}
+	c.waiters = append(c.waiters, t)
+	c.fireDueLocked()
+	return t
+}
+
+// After implements Clock.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	return c.NewTimer(d).C()
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (c *FakeClock) Sleep(d time.Duration) {
+	<-c.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.fireDueLocked()
+}
+
+// AdvanceTo moves the clock to the given instant if it is in the future.
+func (c *FakeClock) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.fireDueLocked()
+}
+
+// Waiters reports how many timers are currently armed. Tests use this to
+// wait until the system under test has parked on its timers before
+// advancing.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.waiters {
+		if t.armed {
+			n++
+		}
+	}
+	return n
+}
+
+// NextDeadline reports the earliest armed timer deadline and whether one
+// exists. Simulation drivers use it to step time timer-to-timer.
+func (c *FakeClock) NextDeadline() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var (
+		best  time.Time
+		found bool
+	)
+	for _, t := range c.waiters {
+		if t.armed && (!found || t.at.Before(best)) {
+			best, found = t.at, true
+		}
+	}
+	return best, found
+}
+
+// fireDueLocked fires all armed timers with deadline <= now, earliest
+// first, and compacts the waiter list.
+func (c *FakeClock) fireDueLocked() {
+	due := c.waiters[:0:0]
+	for _, t := range c.waiters {
+		if t.armed && !t.at.After(c.now) {
+			due = append(due, t)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, t := range due {
+		t.armed = false
+		select {
+		case t.ch <- t.at:
+		default:
+			// Channel already holds an undrained fire; keep the
+			// time.Timer semantics of a 1-buffered channel.
+		}
+	}
+	live := c.waiters[:0]
+	for _, t := range c.waiters {
+		if t.armed {
+			live = append(live, t)
+		}
+	}
+	c.waiters = live
+}
+
+type fakeTimer struct {
+	clock *FakeClock
+	ch    chan time.Time
+	at    time.Time
+	armed bool
+}
+
+var _ Timer = (*fakeTimer)(nil)
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	c := t.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	was := t.armed
+	t.armed = false
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	c := t.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	was := t.armed
+	t.at = c.now.Add(d)
+	t.armed = true
+	// Remove any stale entry for this timer before re-registering so the
+	// waiter list never holds duplicates.
+	live := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w != t {
+			live = append(live, w)
+		}
+	}
+	c.waiters = append(live, t)
+	c.fireDueLocked()
+	return was
+}

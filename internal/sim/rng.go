@@ -1,0 +1,135 @@
+// Package sim provides the simulation substrate shared by every protocol
+// in this repository: a deterministic, splittable pseudo-random number
+// generator and a Clock abstraction with both a real and a manually
+// advanced (fake) implementation.
+//
+// Everything in the repository that needs randomness threads an *RNG
+// through explicitly; nothing reads from a global source. This keeps every
+// simulated run replayable from a single seed.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RNG is a deterministic pseudo-random number generator based on
+// splitmix64 seeding into xoshiro256**. It is safe for concurrent use; all
+// methods take an internal lock so that per-processor forks can also be
+// shared defensively.
+//
+// The zero value is a valid generator seeded with 0; prefer NewRNG.
+type RNG struct {
+	mu sync.Mutex
+	s  [4]uint64
+}
+
+// NewRNG returns a generator deterministically seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.reseed(seed)
+	return r
+}
+
+func (r *RNG) reseed(seed uint64) {
+	// splitmix64 expansion of the seed into the 256-bit state, per
+	// Blackman & Vigna's recommendation for xoshiro initialization.
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		// Lazily initialize a zero-value RNG; the all-zero xoshiro state
+		// is a fixed point and must never be stepped.
+		r.reseed(0)
+	}
+	return r.next()
+}
+
+func (r *RNG) next() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Intn called with n=%d", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bit returns a fair coin flip as 0 or 1.
+func (r *RNG) Bit() int {
+	return int(r.Uint64() & 1)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, as
+// math/rand.Shuffle does.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator from this one, labelled by label.
+// Forks with distinct labels from the same parent produce uncorrelated
+// streams; forking does not disturb the parent's own stream.
+func (r *RNG) Fork(label uint64) *RNG {
+	r.mu.Lock()
+	base := r.s[0] ^ rotl(r.s[2], 23)
+	r.mu.Unlock()
+	return NewRNG(base ^ (label+1)*0x9e3779b97f4a7c15)
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: same seed diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGZeroValueUsable(t *testing.T) {
+	var r RNG
+	// Must not hang or return a constant stream (the all-zero xoshiro
+	// state would).
+	first := r.Uint64()
+	varied := false
+	for i := 0; i < 64; i++ {
+		if r.Uint64() != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("zero-value RNG produced a constant stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBitIsRoughlyFair(t *testing.T) {
+	r := NewRNG(123)
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ones += r.Bit()
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Fatalf("Bit() produced %d/%d ones, outside 45%%-55%%", ones, n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	for _, n := range []int{0, 1, 2, 5, 64} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(2024)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forks with different labels produced %d/100 identical outputs", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a := NewRNG(11).Fork(3)
+	b := NewRNG(11).Fork(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical fork lineage diverged")
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		orig := append([]byte(nil), raw...)
+		r := NewRNG(seed)
+		r.Shuffle(len(raw), func(i, j int) { raw[i], raw[j] = raw[j], raw[i] })
+		var a, b [256]int
+		for _, c := range orig {
+			a[c]++
+		}
+		for _, c := range raw {
+			b[c]++
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

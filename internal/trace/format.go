@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a human-readable rendering of the trace, one event per
+// line, in sequence order. It is the debugging view behind `oocsim -v`
+// style investigation and test failure logs.
+func Dump(w io.Writer, tr Trace) error {
+	for _, ev := range tr.Events {
+		if _, err := fmt.Fprintln(w, FormatEvent(ev)); err != nil {
+			return fmt.Errorf("trace: dump: %w", err)
+		}
+	}
+	return nil
+}
+
+// FormatEvent renders one event on one line.
+func FormatEvent(ev Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d  %-8s", ev.Seq, ev.Kind)
+	switch ev.Kind {
+	case KindSend:
+		fmt.Fprintf(&b, " p%d -> p%d", ev.Node, ev.Peer)
+	case KindDeliver, KindDrop:
+		fmt.Fprintf(&b, " p%d <- p%d", ev.Node, ev.Peer)
+	default:
+		fmt.Fprintf(&b, " p%d", ev.Node)
+	}
+	if ev.Round != 0 {
+		fmt.Fprintf(&b, " round=%d", ev.Round)
+	}
+	if ev.Object != "" {
+		fmt.Fprintf(&b, " object=%s", ev.Object)
+	}
+	if ev.Value != nil {
+		fmt.Fprintf(&b, " %v", ev.Value)
+	}
+	if ev.Bytes > 0 {
+		fmt.Fprintf(&b, " (%dB)", ev.Bytes)
+	}
+	return b.String()
+}
+
+// Filter returns the events matching keep, preserving order.
+func Filter(tr Trace, keep func(Event) bool) Trace {
+	out := Trace{Start: tr.Start, End: tr.End}
+	for _, ev := range tr.Events {
+		if keep(ev) {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
+// OfKind is a Filter predicate selecting one event kind.
+func OfKind(k Kind) func(Event) bool {
+	return func(ev Event) bool { return ev.Kind == k }
+}
+
+// OfNode is a Filter predicate selecting one processor's events.
+func OfNode(node int) func(Event) bool {
+	return func(ev Event) bool { return ev.Node == node }
+}

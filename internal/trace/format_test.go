@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() Trace {
+	r := NewRecorder()
+	r.Send(0, 1, 2, 16, "payload")
+	r.Deliver(1, 0, 2, "payload")
+	r.Drop(2, 0, 2, "payload")
+	r.Invoke(1, 2, "vac", 1)
+	r.Decide(1, 3, 1)
+	r.Note(0, "hello %s", "world")
+	return r.Snapshot()
+}
+
+func TestDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Dump(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("dump has %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{
+		"send", "p0 -> p1", "(16B)",
+		"deliver", "p1 <- p0",
+		"drop", "p2 <- p0",
+		"invoke", "object=vac",
+		"decide", "round=3",
+		"hello world",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatEventVariants(t *testing.T) {
+	ev := Event{Seq: 7, Kind: KindRoundStart, Node: 2, Round: 5}
+	s := FormatEvent(ev)
+	if !strings.Contains(s, "round") || !strings.Contains(s, "p2") {
+		t.Fatalf("FormatEvent = %q", s)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := sampleTrace()
+	sends := Filter(tr, OfKind(KindSend))
+	if len(sends.Events) != 1 || sends.Events[0].Kind != KindSend {
+		t.Fatalf("Filter(OfKind) = %+v", sends.Events)
+	}
+	node1 := Filter(tr, OfNode(1))
+	if len(node1.Events) != 3 {
+		t.Fatalf("Filter(OfNode(1)) has %d events", len(node1.Events))
+	}
+	both := Filter(tr, func(ev Event) bool { return OfNode(1)(ev) && OfKind(KindDecide)(ev) })
+	if len(both.Events) != 1 {
+		t.Fatalf("composed filter has %d events", len(both.Events))
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSummarizeCountsProperty: for any interleaving of recorded events,
+// Summarize's counters exactly match the number of events of each kind,
+// and DecideRound is the max round among decides.
+func TestSummarizeCountsProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRecorder()
+		var sends, delivers, drops, crashes, decides int
+		maxDecideRound := 0
+		for i, op := range ops {
+			round := i%7 + 1
+			switch op % 5 {
+			case 0:
+				r.Send(0, 1, round, int(op), op)
+				sends++
+			case 1:
+				r.Deliver(1, 0, round, op)
+				delivers++
+			case 2:
+				r.Drop(1, 0, round, op)
+				drops++
+			case 3:
+				r.Crash(int(op) % 4)
+				crashes++
+			case 4:
+				r.Decide(0, round, op)
+				decides++
+				if round > maxDecideRound {
+					maxDecideRound = round
+				}
+			}
+		}
+		s := Summarize(r.Snapshot())
+		return s.MessagesSent == sends &&
+			s.MessagesDelivered == delivers &&
+			s.MessagesDropped == drops &&
+			s.Crashes == crashes &&
+			s.Decisions == decides &&
+			s.DecideRound == maxDecideRound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilterPartitionProperty: Filter with a predicate and its negation
+// partitions the trace.
+func TestFilterPartitionProperty(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		r := NewRecorder()
+		for _, k := range kinds {
+			r.Record(Event{Kind: Kind(int(k)%9 + 1), Node: int(k) % 3})
+		}
+		tr := r.Snapshot()
+		pred := func(ev Event) bool { return ev.Node == 0 }
+		yes := Filter(tr, pred)
+		no := Filter(tr, func(ev Event) bool { return !pred(ev) })
+		return len(yes.Events)+len(no.Events) == len(tr.Events)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

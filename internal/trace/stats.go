@@ -1,0 +1,84 @@
+package trace
+
+import "fmt"
+
+// Stats is the aggregate accounting the benchmark harness reports for a
+// run: how much communication it cost and how long it took in rounds.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int
+	BytesSent         int
+	Crashes           int
+	Decisions         int
+	MaxRound          int // highest round observed anywhere
+	DecideRound       int // highest round at which any processor decided (0 if none)
+	ObjectInvocations map[string]int
+}
+
+// Summarize folds a trace into aggregate statistics.
+func Summarize(tr Trace) Stats {
+	s := Stats{ObjectInvocations: make(map[string]int)}
+	for _, ev := range tr.Events {
+		if ev.Round > s.MaxRound {
+			s.MaxRound = ev.Round
+		}
+		switch ev.Kind {
+		case KindSend:
+			s.MessagesSent++
+			s.BytesSent += ev.Bytes
+		case KindDeliver:
+			s.MessagesDelivered++
+		case KindDrop:
+			s.MessagesDropped++
+		case KindCrash:
+			s.Crashes++
+		case KindDecide:
+			s.Decisions++
+			if ev.Round > s.DecideRound {
+				s.DecideRound = ev.Round
+			}
+		case KindInvoke:
+			s.ObjectInvocations[ev.Object]++
+		}
+	}
+	return s
+}
+
+// String renders the stats on one line, suitable for bench logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d delivered=%d dropped=%d bytes=%d crashes=%d decisions=%d decideRound=%d",
+		s.MessagesSent, s.MessagesDelivered, s.MessagesDropped, s.BytesSent, s.Crashes, s.Decisions, s.DecideRound)
+}
+
+// Decisions extracts every decide event from a trace in sequence order.
+func Decisions(tr Trace) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if ev.Kind == KindDecide {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByNode groups a trace's events per processor id.
+func ByNode(tr Trace) map[int][]Event {
+	out := make(map[int][]Event)
+	for _, ev := range tr.Events {
+		out[ev.Node] = append(out[ev.Node], ev)
+	}
+	return out
+}
+
+// Returns extracts the object-return events for the named object, in
+// sequence order. Object-level property checkers consume this.
+func Returns(tr Trace, object string) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if ev.Kind == KindReturn && ev.Object == object {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

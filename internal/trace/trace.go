@@ -1,0 +1,160 @@
+// Package trace records what happened during a protocol run: message
+// sends, deliveries and drops, object invocations, decisions, and crashes.
+// Every simulated experiment in this repository feeds a *Recorder, and the
+// property checkers and benchmark harness consume the resulting Trace.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the event types a Recorder accepts.
+type Kind int
+
+// The event kinds, in rough causal order of a run.
+const (
+	KindSend Kind = iota + 1
+	KindDeliver
+	KindDrop
+	KindCrash
+	KindRoundStart
+	KindInvoke // an object invocation (AC / VAC / conciliator / reconciliator)
+	KindReturn // the matching object return
+	KindDecide
+	KindNote // free-form annotation
+)
+
+var kindNames = map[Kind]string{
+	KindSend:       "send",
+	KindDeliver:    "deliver",
+	KindDrop:       "drop",
+	KindCrash:      "crash",
+	KindRoundStart: "round",
+	KindInvoke:     "invoke",
+	KindReturn:     "return",
+	KindDecide:     "decide",
+	KindNote:       "note",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is a single record in a Trace.
+type Event struct {
+	Seq    int    // assigned by the Recorder, strictly increasing
+	Kind   Kind   // what happened
+	Node   int    // the processor the event belongs to (-1 if none)
+	Peer   int    // counterpart processor for send/deliver (-1 if none)
+	Round  int    // protocol round/phase/term if applicable (0 if none)
+	Object string // object name for invoke/return ("" if none)
+	Value  any    // payload: message body, decided value, returned pair
+	Bytes  int    // approximate wire size for send events
+}
+
+// Trace is an immutable snapshot of recorded events.
+type Trace struct {
+	Events []Event
+	Start  time.Time
+	End    time.Time
+}
+
+// Recorder accumulates events. It is safe for concurrent use. The zero
+// value is ready to use; a nil *Recorder discards all events, so protocol
+// code may record unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	start  time.Time
+	seq    int
+}
+
+// NewRecorder returns an empty recorder stamped with the current time.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Record appends ev to the trace, assigning its sequence number.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, ev)
+}
+
+// Send records node sending a message of size bytes to peer.
+func (r *Recorder) Send(node, peer, round, bytes int, payload any) {
+	r.Record(Event{Kind: KindSend, Node: node, Peer: peer, Round: round, Bytes: bytes, Value: payload})
+}
+
+// Deliver records peer's message arriving at node.
+func (r *Recorder) Deliver(node, peer, round int, payload any) {
+	r.Record(Event{Kind: KindDeliver, Node: node, Peer: peer, Round: round, Value: payload})
+}
+
+// Drop records the network losing a message from peer to node.
+func (r *Recorder) Drop(node, peer, round int, payload any) {
+	r.Record(Event{Kind: KindDrop, Node: node, Peer: peer, Round: round, Value: payload})
+}
+
+// Crash records node halting.
+func (r *Recorder) Crash(node int) {
+	r.Record(Event{Kind: KindCrash, Node: node, Peer: -1})
+}
+
+// RoundStart records node entering round.
+func (r *Recorder) RoundStart(node, round int) {
+	r.Record(Event{Kind: KindRoundStart, Node: node, Peer: -1, Round: round})
+}
+
+// Invoke records node calling object with the given argument in round.
+func (r *Recorder) Invoke(node, round int, object string, arg any) {
+	r.Record(Event{Kind: KindInvoke, Node: node, Peer: -1, Round: round, Object: object, Value: arg})
+}
+
+// Return records object returning result to node in round.
+func (r *Recorder) Return(node, round int, object string, result any) {
+	r.Record(Event{Kind: KindReturn, Node: node, Peer: -1, Round: round, Object: object, Value: result})
+}
+
+// Decide records node deciding value in round.
+func (r *Recorder) Decide(node, round int, value any) {
+	r.Record(Event{Kind: KindDecide, Node: node, Peer: -1, Round: round, Value: value})
+}
+
+// Note records a free-form annotation attached to node.
+func (r *Recorder) Note(node int, format string, args ...any) {
+	r.Record(Event{Kind: KindNote, Node: node, Peer: -1, Value: fmt.Sprintf(format, args...)})
+}
+
+// Snapshot returns a copy of everything recorded so far.
+func (r *Recorder) Snapshot() Trace {
+	if r == nil {
+		return Trace{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]Event, len(r.events))
+	copy(events, r.events)
+	return Trace{Events: events, Start: r.start, End: time.Now()}
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecorderSequenceNumbers(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.Note(i, "event %d", i)
+	}
+	tr := r.Snapshot()
+	if len(tr.Events) != 10 {
+		t.Fatalf("recorded %d events, want 10", len(tr.Events))
+	}
+	for i, ev := range tr.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestNilRecorderDiscards(t *testing.T) {
+	var r *Recorder
+	r.Send(0, 1, 1, 10, "x") // must not panic
+	r.Decide(0, 1, "v")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder reported events")
+	}
+	if tr := r.Snapshot(); len(tr.Events) != 0 {
+		t.Fatal("nil recorder snapshot non-empty")
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Send(w, (w+1)%workers, i, 4, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr := r.Snapshot()
+	if len(tr.Events) != workers*per {
+		t.Fatalf("recorded %d events, want %d", len(tr.Events), workers*per)
+	}
+	seen := make(map[int]bool, len(tr.Events))
+	for _, ev := range tr.Events {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate sequence number %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	r.Send(0, 1, 1, 8, "m1")
+	r.Send(0, 2, 1, 8, "m2")
+	r.Deliver(1, 0, 1, "m1")
+	r.Drop(2, 0, 1, "m2")
+	r.Crash(2)
+	r.Invoke(0, 1, "vac", "v")
+	r.Return(0, 1, "vac", "commit")
+	r.Decide(0, 3, "v")
+	r.Decide(1, 2, "v")
+	s := Summarize(r.Snapshot())
+	if s.MessagesSent != 2 || s.MessagesDelivered != 1 || s.MessagesDropped != 1 {
+		t.Fatalf("message counts wrong: %+v", s)
+	}
+	if s.BytesSent != 16 {
+		t.Fatalf("BytesSent = %d, want 16", s.BytesSent)
+	}
+	if s.Crashes != 1 || s.Decisions != 2 {
+		t.Fatalf("crash/decision counts wrong: %+v", s)
+	}
+	if s.DecideRound != 3 || s.MaxRound != 3 {
+		t.Fatalf("round accounting wrong: %+v", s)
+	}
+	if s.ObjectInvocations["vac"] != 1 {
+		t.Fatalf("object invocations wrong: %+v", s.ObjectInvocations)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(Trace{})
+	if s.MessagesSent != 0 || s.Decisions != 0 || s.DecideRound != 0 {
+		t.Fatalf("empty trace produced non-zero stats: %+v", s)
+	}
+}
+
+func TestDecisionsAndByNodeAndReturns(t *testing.T) {
+	r := NewRecorder()
+	r.Decide(0, 1, "a")
+	r.Send(1, 0, 1, 4, "x")
+	r.Decide(1, 2, "a")
+	r.Return(1, 1, "ac", "adopt")
+	r.Return(1, 2, "vac", "commit")
+	tr := r.Snapshot()
+
+	dec := Decisions(tr)
+	if len(dec) != 2 || dec[0].Node != 0 || dec[1].Node != 1 {
+		t.Fatalf("Decisions = %+v", dec)
+	}
+	byNode := ByNode(tr)
+	if len(byNode[1]) != 4 {
+		t.Fatalf("node 1 has %d events, want 4", len(byNode[1]))
+	}
+	rets := Returns(tr, "vac")
+	if len(rets) != 1 || rets[0].Value != "commit" {
+		t.Fatalf("Returns(vac) = %+v", rets)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindSend:   "send",
+		KindDecide: "decide",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{MessagesSent: 3, Decisions: 2}
+	got := s.String()
+	want := fmt.Sprintf("msgs=%d", 3)
+	if len(got) == 0 || got[:len(want)] != want {
+		t.Fatalf("Stats.String() = %q", got)
+	}
+}

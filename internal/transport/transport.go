@@ -1,0 +1,309 @@
+// Package transport is a real TCP implementation of msgnet.Endpoint:
+// length-delimited gob streams over persistent connections, one process
+// per protocol node. It lets every protocol in this repository — Ben-Or,
+// Raft, the VAC compositions — run across actual sockets rather than the
+// in-memory simulator, with identical protocol code.
+//
+// Delivery semantics match the asynchronous model the protocols assume:
+// Send is best-effort (a broken connection drops the message and triggers
+// reconnection on the next send), ordering across messages is not
+// guaranteed, and duplication does not occur. Raft's retries and Ben-Or's
+// quorum waits tolerate exactly this.
+//
+// Payload types must be registered with Register before use, on both
+// sides (gob requirement).
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ooc/internal/msgnet"
+	"ooc/internal/trace"
+)
+
+// envelope is the wire record.
+type envelope struct {
+	From    int
+	Payload any
+}
+
+// Register makes a payload type encodable; call it once per concrete
+// type before any Send (e.g. for Raft: Register(raft.WireTypes()...)).
+func Register(values ...any) {
+	for _, v := range values {
+		gob.Register(v)
+	}
+}
+
+// Option configures a Transport.
+type Option func(*Transport)
+
+// WithRecorder attaches a trace recorder.
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(tr *Transport) { tr.rec = rec }
+}
+
+// Transport is one node's TCP endpoint.
+type Transport struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+	rec   *trace.Recorder
+
+	mu      sync.Mutex
+	conns   map[int]*outConn
+	inbound map[net.Conn]struct{}
+	pending []msgnet.Message
+	closed  bool
+	notify  chan struct{}
+
+	wg sync.WaitGroup
+}
+
+type outConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ msgnet.Endpoint = (*Transport)(nil)
+
+// Listen binds addrs[id] and starts accepting peer connections. addrs is
+// the full cluster membership, indexed by node id.
+func Listen(id int, addrs []string, opts ...Option) (*Transport, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("transport: id %d out of range for %d addresses", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	return listenOn(id, addrs, ln, opts...), nil
+}
+
+func listenOn(id int, addrs []string, ln net.Listener, opts ...Option) *Transport {
+	tr := &Transport{
+		id:      id,
+		addrs:   append([]string(nil), addrs...),
+		ln:      ln,
+		conns:   make(map[int]*outConn),
+		inbound: make(map[net.Conn]struct{}),
+		notify:  make(chan struct{}, 1),
+	}
+	for _, opt := range opts {
+		opt(tr)
+	}
+	tr.wg.Add(1)
+	go tr.acceptLoop()
+	return tr
+}
+
+// NewLocalCluster builds n connected transports on loopback ephemeral
+// ports — the quickest way to run a protocol over real sockets in tests
+// and examples. Close every returned transport when done.
+func NewLocalCluster(n int, opts ...Option) ([]*Transport, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = listeners[j].Close()
+			}
+			return nil, fmt.Errorf("transport: local cluster: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	out := make([]*Transport, n)
+	for i := 0; i < n; i++ {
+		out[i] = listenOn(i, addrs, listeners[i], opts...)
+	}
+	return out, nil
+}
+
+// ID implements msgnet.Endpoint.
+func (tr *Transport) ID() int { return tr.id }
+
+// N implements msgnet.Endpoint.
+func (tr *Transport) N() int { return len(tr.addrs) }
+
+// Addr reports the listener's actual address (useful with ":0").
+func (tr *Transport) Addr() string { return tr.ln.Addr().String() }
+
+// Send implements msgnet.Endpoint. Local sends short-circuit the network.
+func (tr *Transport) Send(to int, payload any) error {
+	if to < 0 || to >= len(tr.addrs) {
+		return fmt.Errorf("transport: send to invalid node %d", to)
+	}
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		return msgnet.ErrClosed
+	}
+	if to == tr.id {
+		tr.pending = append(tr.pending, msgnet.Message{From: tr.id, To: to, Payload: payload})
+		tr.mu.Unlock()
+		tr.wake()
+		tr.rec.Send(tr.id, to, 0, 0, payload)
+		return nil
+	}
+	oc, err := tr.connLocked(to)
+	if err == nil {
+		err = oc.enc.Encode(envelope{From: tr.id, Payload: payload})
+		if err != nil {
+			// Broken pipe: drop the connection; the next send redials.
+			_ = oc.conn.Close()
+			delete(tr.conns, to)
+		}
+	}
+	tr.mu.Unlock()
+	if err != nil {
+		tr.rec.Drop(to, tr.id, 0, payload)
+		// Best-effort semantics: remote loss is silent, like the
+		// simulator's drops. The caller cannot act on it anyway.
+		return nil //nolint:nilerr // deliberate: async send never fails on remote errors
+	}
+	tr.rec.Send(tr.id, to, 0, 0, payload)
+	return nil
+}
+
+// Broadcast implements msgnet.Endpoint.
+func (tr *Transport) Broadcast(payload any) error {
+	for to := range tr.addrs {
+		if err := tr.Send(to, payload); err != nil {
+			return fmt.Errorf("transport: broadcast: %w", err)
+		}
+	}
+	return nil
+}
+
+// Recv implements msgnet.Endpoint.
+func (tr *Transport) Recv(ctx context.Context) (msgnet.Message, error) {
+	for {
+		tr.mu.Lock()
+		if len(tr.pending) > 0 {
+			m := tr.pending[0]
+			tr.pending = tr.pending[1:]
+			tr.mu.Unlock()
+			tr.rec.Deliver(tr.id, m.From, 0, m.Payload)
+			return m, nil
+		}
+		closed := tr.closed
+		tr.mu.Unlock()
+		if closed {
+			return msgnet.Message{}, msgnet.ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return msgnet.Message{}, ctx.Err()
+		case <-tr.notify:
+		}
+	}
+}
+
+// Close shuts the transport down: the listener stops, connections close,
+// and blocked Recvs return msgnet.ErrClosed.
+func (tr *Transport) Close() error {
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		return nil
+	}
+	tr.closed = true
+	for id, oc := range tr.conns {
+		_ = oc.conn.Close()
+		delete(tr.conns, id)
+	}
+	for conn := range tr.inbound {
+		_ = conn.Close()
+	}
+	tr.mu.Unlock()
+	err := tr.ln.Close()
+	tr.wake()
+	tr.wg.Wait()
+	return err
+}
+
+func (tr *Transport) wake() {
+	select {
+	case tr.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (tr *Transport) deliver(m msgnet.Message) {
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		return
+	}
+	tr.pending = append(tr.pending, m)
+	tr.mu.Unlock()
+	tr.wake()
+}
+
+// connLocked returns the outbound connection to peer, dialing if needed.
+func (tr *Transport) connLocked(to int) (*outConn, error) {
+	if oc, ok := tr.conns[to]; ok {
+		return oc, nil
+	}
+	conn, err := net.Dial("tcp", tr.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, tr.addrs[to], err)
+	}
+	oc := &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+	tr.conns[to] = oc
+	return oc, nil
+}
+
+func (tr *Transport) acceptLoop() {
+	defer tr.wg.Done()
+	for {
+		conn, err := tr.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			tr.mu.Lock()
+			closed := tr.closed
+			tr.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		tr.mu.Lock()
+		if tr.closed {
+			tr.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		tr.inbound[conn] = struct{}{}
+		tr.mu.Unlock()
+		tr.wg.Add(1)
+		go tr.readLoop(conn)
+	}
+}
+
+func (tr *Transport) readLoop(conn net.Conn) {
+	defer tr.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		tr.mu.Lock()
+		delete(tr.inbound, conn)
+		tr.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		tr.deliver(msgnet.Message{From: env.From, To: tr.id, Payload: env.Payload})
+	}
+}

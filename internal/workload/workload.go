@@ -1,0 +1,122 @@
+// Package workload generates the inputs and fault schedules the
+// experiment suite sweeps over: initial-value splits, crash schedules for
+// the asynchronous protocols, and Byzantine rosters for Phase-King.
+package workload
+
+import (
+	"fmt"
+
+	"ooc/internal/sim"
+)
+
+// Split names an initial-value distribution for binary consensus.
+type Split int
+
+// The input splits the experiments sweep.
+const (
+	// SplitUnanimous0 gives every processor input 0.
+	SplitUnanimous0 Split = iota + 1
+	// SplitUnanimous1 gives every processor input 1.
+	SplitUnanimous1
+	// SplitHalf alternates 0 and 1 — the adversarial stalemate start.
+	SplitHalf
+	// SplitOneDissent gives processor 0 input 1 and everyone else 0.
+	SplitOneDissent
+	// SplitRandom draws each input from a fair coin.
+	SplitRandom
+)
+
+var splitNames = map[Split]string{
+	SplitUnanimous0: "unanimous-0",
+	SplitUnanimous1: "unanimous-1",
+	SplitHalf:       "half-half",
+	SplitOneDissent: "one-dissent",
+	SplitRandom:     "random",
+}
+
+// String implements fmt.Stringer.
+func (s Split) String() string {
+	if n, ok := splitNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Split(%d)", int(s))
+}
+
+// AllSplits lists every defined split, in declaration order.
+func AllSplits() []Split {
+	return []Split{SplitUnanimous0, SplitUnanimous1, SplitHalf, SplitOneDissent, SplitRandom}
+}
+
+// BinaryInputs materializes a split for n processors. rng is only used by
+// SplitRandom.
+func BinaryInputs(s Split, n int, rng *sim.RNG) []int {
+	out := make([]int, n)
+	switch s {
+	case SplitUnanimous0:
+		// zero value already
+	case SplitUnanimous1:
+		for i := range out {
+			out[i] = 1
+		}
+	case SplitHalf:
+		for i := range out {
+			out[i] = i % 2
+		}
+	case SplitOneDissent:
+		if n > 0 {
+			out[0] = 1
+		}
+	case SplitRandom:
+		for i := range out {
+			out[i] = rng.Bit()
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown split %v", s))
+	}
+	return out
+}
+
+// CrashSpec schedules one crash for the asynchronous simulator.
+type CrashSpec struct {
+	Node int
+	// AfterSends crashes the node after that many further successful
+	// sends (0 = immediately). Broadcasts transmit in random order, so a
+	// mid-broadcast quota yields an adversarial partial broadcast.
+	AfterSends int
+}
+
+// CrashPlan builds a schedule crashing the last `crashes` processors of n,
+// staggered so one dies immediately, one mid-first-broadcast, and the
+// rest progressively later — a spread of the adversarial timings Ben-Or
+// must tolerate.
+func CrashPlan(n, crashes int, rng *sim.RNG) []CrashSpec {
+	if crashes > n {
+		crashes = n
+	}
+	specs := make([]CrashSpec, 0, crashes)
+	for i := 0; i < crashes; i++ {
+		after := 0
+		if i > 0 {
+			// Somewhere within the first few broadcasts.
+			after = rng.Intn(3*n) + 1
+		}
+		specs = append(specs, CrashSpec{Node: n - 1 - i, AfterSends: after})
+	}
+	return specs
+}
+
+// InputsToMap converts a slice of inputs into the id-keyed map several
+// runners take, excluding the listed ids (e.g. Byzantine processors).
+func InputsToMap(inputs []int, exclude ...int) map[int]int {
+	skip := make(map[int]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	out := make(map[int]int, len(inputs))
+	for id, v := range inputs {
+		if !skip[id] {
+			out[id] = v
+		}
+	}
+	return out
+}

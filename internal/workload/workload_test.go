@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"ooc/internal/sim"
+)
+
+func TestBinaryInputs(t *testing.T) {
+	rng := sim.NewRNG(1)
+	const n = 8
+	cases := []struct {
+		split Split
+		check func([]int) bool
+	}{
+		{SplitUnanimous0, func(in []int) bool {
+			for _, v := range in {
+				if v != 0 {
+					return false
+				}
+			}
+			return true
+		}},
+		{SplitUnanimous1, func(in []int) bool {
+			for _, v := range in {
+				if v != 1 {
+					return false
+				}
+			}
+			return true
+		}},
+		{SplitHalf, func(in []int) bool {
+			ones := 0
+			for _, v := range in {
+				ones += v
+			}
+			return ones == n/2
+		}},
+		{SplitOneDissent, func(in []int) bool {
+			ones := 0
+			for _, v := range in {
+				ones += v
+			}
+			return in[0] == 1 && ones == 1
+		}},
+		{SplitRandom, func(in []int) bool {
+			for _, v := range in {
+				if v != 0 && v != 1 {
+					return false
+				}
+			}
+			return true
+		}},
+	}
+	for _, tc := range cases {
+		in := BinaryInputs(tc.split, n, rng)
+		if len(in) != n {
+			t.Fatalf("%v: length %d", tc.split, len(in))
+		}
+		if !tc.check(in) {
+			t.Fatalf("%v: inputs %v", tc.split, in)
+		}
+	}
+}
+
+func TestBinaryInputsPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown split did not panic")
+		}
+	}()
+	BinaryInputs(Split(99), 3, sim.NewRNG(1))
+}
+
+func TestSplitString(t *testing.T) {
+	if SplitHalf.String() != "half-half" {
+		t.Fatalf("got %q", SplitHalf.String())
+	}
+	if Split(42).String() != "Split(42)" {
+		t.Fatalf("got %q", Split(42).String())
+	}
+	if len(AllSplits()) != 5 {
+		t.Fatalf("AllSplits() has %d entries", len(AllSplits()))
+	}
+}
+
+func TestCrashPlan(t *testing.T) {
+	rng := sim.NewRNG(3)
+	specs := CrashPlan(7, 3, rng)
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].Node != 6 || specs[0].AfterSends != 0 {
+		t.Fatalf("first spec = %+v, want immediate crash of node 6", specs[0])
+	}
+	seen := map[int]bool{}
+	for _, s := range specs {
+		if s.Node < 0 || s.Node >= 7 || seen[s.Node] {
+			t.Fatalf("bad node in %+v", specs)
+		}
+		seen[s.Node] = true
+		if s.AfterSends < 0 {
+			t.Fatalf("negative AfterSends: %+v", s)
+		}
+	}
+	// Clamp: asking for more crashes than processors.
+	if got := CrashPlan(2, 5, rng); len(got) != 2 {
+		t.Fatalf("clamp failed: %d specs", len(got))
+	}
+}
+
+func TestInputsToMap(t *testing.T) {
+	m := InputsToMap([]int{1, 0, 1, 0}, 2)
+	if len(m) != 3 {
+		t.Fatalf("map = %v", m)
+	}
+	if _, ok := m[2]; ok {
+		t.Fatal("excluded id present")
+	}
+	if m[0] != 1 || m[3] != 0 {
+		t.Fatalf("map = %v", m)
+	}
+}
