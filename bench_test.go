@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,42 +29,78 @@ import (
 	"ooc/internal/workload"
 )
 
-// benchBenOr runs one full Ben-Or consensus (decomposed or monolithic).
-func benchBenOr(b *testing.B, decomposed bool, n int, split workload.Split) {
-	b.Helper()
+// benOrTrial runs one full Ben-Or consensus (decomposed or monolithic)
+// under the given seed.
+func benOrTrial(b *testing.B, decomposed bool, n int, split workload.Split, seed uint64) {
 	tFaults := (n - 1) / 2
-	for i := 0; i < b.N; i++ {
-		seed := uint64(i) + 1
-		rng := sim.NewRNG(seed)
-		inputs := workload.BinaryInputs(split, n, rng)
-		nw := netsim.New(n, netsim.WithSeed(seed))
-		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-		decisions := make([]core.Decision[int], n)
-		errs := make([]error, n)
-		var wg sync.WaitGroup
-		for id := 0; id < n; id++ {
-			wg.Add(1)
-			go func(id int) {
-				defer wg.Done()
-				if decomposed {
-					decisions[id], errs[id] = benor.RunDecomposed(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
-						core.WithMaxRounds(5000))
-				} else {
-					decisions[id], errs[id] = benor.RunMonolithic(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id], 5000, nil)
-				}
-			}(id)
+	rng := sim.NewRNG(seed)
+	inputs := workload.BinaryInputs(split, n, rng)
+	nw := netsim.New(n, netsim.WithSeed(seed))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	decisions := make([]core.Decision[int], n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if decomposed {
+				decisions[id], errs[id] = benor.RunDecomposed(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
+					core.WithMaxRounds(5000))
+			} else {
+				decisions[id], errs[id] = benor.RunMonolithic(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id], 5000, nil)
+			}
+		}(id)
+	}
+	wg.Wait()
+	cancel()
+	for id := 0; id < n; id++ {
+		if errs[id] != nil {
+			b.Errorf("node %d: %v", id, errs[id])
+			return
 		}
-		wg.Wait()
-		cancel()
-		for id := 0; id < n; id++ {
-			if errs[id] != nil {
-				b.Fatalf("node %d: %v", id, errs[id])
-			}
-			if decisions[id].Value != decisions[0].Value {
-				b.Fatal("agreement violated")
-			}
+		if decisions[id].Value != decisions[0].Value {
+			b.Error("agreement violated")
+			return
 		}
 	}
+}
+
+// benchBenOr iterates benOrTrial over per-iteration seeds.
+func benchBenOr(b *testing.B, decomposed bool, n int, split workload.Split) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benOrTrial(b, decomposed, n, split, uint64(i)+1)
+	}
+}
+
+// benchBenOrSeedSweepParallel is the multi-seed sweep variant: concurrent
+// goroutines drain a shared atomic seed counter, each running a fully
+// independent seeded trial — the b.RunParallel analogue of the experiment
+// harness's cell pool. Throughput scales with GOMAXPROCS because trials
+// share no network, recorder, or RNG state.
+func benchBenOrSeedSweepParallel(b *testing.B, n int, split workload.Split) {
+	b.Helper()
+	b.ReportAllocs()
+	var seedCtr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benOrTrial(b, true, n, split, seedCtr.Add(1))
+		}
+	})
+}
+
+// BenchmarkE1BenOrSeedSweepParallel: experiment E1's workload as a
+// parallel multi-seed sweep (n=5, half split).
+func BenchmarkE1BenOrSeedSweepParallel(b *testing.B) {
+	benchBenOrSeedSweepParallel(b, 5, workload.SplitHalf)
+}
+
+// BenchmarkE9SeedSweepParallel: experiment E9's heavy-tail workload as a
+// parallel multi-seed sweep (n=9, half split).
+func BenchmarkE9SeedSweepParallel(b *testing.B) {
+	benchBenOrSeedSweepParallel(b, 9, workload.SplitHalf)
 }
 
 // BenchmarkE1BenOrDecomposed: experiment E1 — the paper's Ben-Or under
@@ -81,6 +118,7 @@ func BenchmarkE2BenOrBaseline(b *testing.B) {
 // benchPhaseKing runs one full Phase-King consensus.
 func benchPhaseKing(b *testing.B, baseline bool) {
 	b.Helper()
+	b.ReportAllocs()
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		cfg := phaseking.Config{
@@ -121,6 +159,7 @@ func BenchmarkE4PhaseKingBaseline(b *testing.B) {
 // BenchmarkEAKingDiversion: experiment EA — the attack run (decomposed,
 // first-commit rule). Each iteration reproduces the agreement violation.
 func BenchmarkEAKingDiversion(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		res, err := phaseking.Run(ctx, phaseking.Config{
@@ -141,6 +180,7 @@ func BenchmarkEAKingDiversion(b *testing.B) {
 // BenchmarkE5RaftConsensus: experiment E5 — Raft single-decree consensus
 // via D&S (n=3, real timers on the simulated network).
 func BenchmarkE5RaftConsensus(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		const n = 3
 		seed := uint64(i) + 1
@@ -183,6 +223,7 @@ func BenchmarkE5RaftConsensus(b *testing.B) {
 // BenchmarkE6RaftVAC: experiment E6 — the VAC view of Raft under the
 // generic template (n=3).
 func BenchmarkE6RaftVAC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		const n = 3
 		seed := uint64(i) + 1
@@ -226,6 +267,7 @@ func BenchmarkE6RaftVAC(b *testing.B) {
 // BenchmarkE7VACFromAC: experiment E7 — one round of the Section 5
 // composite VAC over shared-memory ACs (n=8, concurrent).
 func BenchmarkE7VACFromAC(b *testing.B) {
+	b.ReportAllocs()
 	const n = 8
 	rng := sim.NewRNG(3)
 	for i := 0; i < b.N; i++ {
@@ -249,6 +291,7 @@ func BenchmarkE7VACFromAC(b *testing.B) {
 // BenchmarkE8OutcomeClasses: experiment E8 — one instrumented Ben-Or run
 // per iteration, counting the three outcome classes.
 func BenchmarkE8OutcomeClasses(b *testing.B) {
+	b.ReportAllocs()
 	const n, tFaults = 5, 2
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
@@ -291,6 +334,7 @@ func BenchmarkE9RoundsToConsensus(b *testing.B) {
 // BenchmarkE10MessageComplexity: experiment E10 — one traced Ben-Or run,
 // reporting messages per operation.
 func BenchmarkE10MessageComplexity(b *testing.B) {
+	b.ReportAllocs()
 	tbl, err := bench.RunE10(bench.Suite{Trials: 1, Quick: true, BaseSeed: uint64(b.N)})
 	if err != nil {
 		b.Fatal(err)
@@ -305,6 +349,7 @@ func BenchmarkE10MessageComplexity(b *testing.B) {
 // BenchmarkF1RaftMessageCodec: figure F1 — encode/decode all four Raft
 // message formats.
 func BenchmarkF1RaftMessageCodec(b *testing.B) {
+	b.ReportAllocs()
 	for _, wt := range raft.WireTypes() {
 		gob.Register(wt)
 	}
@@ -336,6 +381,7 @@ func BenchmarkF1RaftMessageCodec(b *testing.B) {
 // BenchmarkF2RaftStateMachine: figure F2 — a full election + replication
 // cycle driving every Figure 2 state variable.
 func BenchmarkF2RaftStateMachine(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		const n = 3
 		seed := uint64(i) + 1
@@ -395,6 +441,7 @@ func BenchmarkF2RaftStateMachine(b *testing.B) {
 // BenchmarkE11Multivalued: experiment E11 — one multivalued consensus
 // run (n=5, 3-value domain) per iteration.
 func BenchmarkE11Multivalued(b *testing.B) {
+	b.ReportAllocs()
 	const n, tFaults = 5, 2
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
@@ -432,6 +479,7 @@ func BenchmarkE11Multivalued(b *testing.B) {
 // BenchmarkE12SharedMemory: experiment E12 — one shared-memory consensus
 // (Gafni AC + probabilistic-write conciliator, n=8) per iteration.
 func BenchmarkE12SharedMemory(b *testing.B) {
+	b.ReportAllocs()
 	const n = 8
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1

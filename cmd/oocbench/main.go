@@ -6,12 +6,16 @@
 //	oocbench                  # run the full matrix
 //	oocbench -experiment E1   # run one experiment
 //	oocbench -quick -trials 5 # trimmed sweep
+//	oocbench -parallel        # run simulation-time experiments concurrently
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"ooc/internal/bench"
@@ -23,15 +27,17 @@ func main() {
 		trials     = flag.Int("trials", 20, "seeded repetitions per configuration")
 		quick      = flag.Bool("quick", false, "trim parameter sweeps")
 		seed       = flag.Uint64("seed", 0, "base seed offset")
+		parallel   = flag.Bool("parallel", false,
+			"run simulation-time experiments concurrently (wall-clock Raft experiments still run sequentially)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *trials, *quick, *seed); err != nil {
+	if err := run(*experiment, *trials, *quick, *seed, *parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "oocbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, trials int, quick bool, seed uint64) error {
+func run(experiment string, trials int, quick bool, seed uint64, parallel bool) error {
 	suite := bench.Suite{Trials: trials, Quick: quick, BaseSeed: seed}
 	experiments := bench.Experiments()
 	if experiment != "" {
@@ -40,6 +46,9 @@ func run(experiment string, trials int, quick bool, seed uint64) error {
 			return fmt.Errorf("unknown experiment %q; known: %s", experiment, knownIDs())
 		}
 		experiments = []bench.Experiment{e}
+	}
+	if parallel {
+		return runParallel(experiments, suite)
 	}
 	for _, e := range experiments {
 		start := time.Now()
@@ -50,6 +59,63 @@ func run(experiment string, trials int, quick bool, seed uint64) error {
 		}
 		tbl.Render(os.Stdout)
 		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runParallel runs the simulation-time experiments on a bounded worker
+// pool, then the wall-clock (Raft) experiments sequentially so their
+// timer-driven measurements aren't distorted by CPU contention. Each
+// experiment renders into its own buffer; output is printed in
+// presentation order, identical to a sequential run.
+func runParallel(experiments []bench.Experiment, suite bench.Suite) error {
+	type result struct {
+		buf bytes.Buffer
+		dur time.Duration
+		err error
+	}
+	results := make([]result, len(experiments))
+	runOne := func(i int) {
+		e := experiments[i]
+		start := time.Now()
+		tbl, err := e.Run(suite)
+		results[i].dur = time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			results[i].err = fmt.Errorf("%s: %w", e.ID, err)
+			return
+		}
+		tbl.Render(&results[i].buf)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, e := range experiments {
+		if e.WallClock {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s: %s ...\n", e.ID, e.Name)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runOne(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range experiments {
+		if !e.WallClock {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s: %s ...\n", e.ID, e.Name)
+		runOne(i)
+	}
+	for i, e := range experiments {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		fmt.Printf("running %s: %s ...\n", e.ID, e.Name)
+		os.Stdout.Write(results[i].buf.Bytes())
+		fmt.Printf("  (%s in %v)\n\n", e.ID, results[i].dur)
 	}
 	return nil
 }

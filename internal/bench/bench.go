@@ -16,8 +16,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table is one experiment's output.
@@ -101,27 +103,31 @@ type Experiment struct {
 	ID   string
 	Name string
 	Run  func(Suite) (Table, error)
+	// WallClock marks experiments whose trials run real timers (the Raft
+	// matrix). Their measurements distort when other experiments compete
+	// for CPU, so harnesses must not run them concurrently with anything.
+	WallClock bool
 }
 
 // Experiments lists the full matrix in presentation order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"F1", "Raft message formats (paper Figure 1): codec round-trip and sizes", RunF1},
-		{"F2", "Raft state variables (paper Figure 2): transitions through an election", RunF2},
-		{"E1", "Ben-Or decomposed under Algorithm 1: safety and rounds", RunE1},
-		{"E2", "Ben-Or decomposed vs monolithic baseline", RunE2},
-		{"E3", "Phase-King decomposed under Algorithm 2 vs Byzantine adversaries", RunE3},
-		{"E4", "Phase-King decomposed vs monolithic baseline", RunE4},
-		{"EA", "King-diversion adversary: paper's first-commit rule vs classical rule", RunEA},
-		{"E5", "Raft single-decree consensus (Algorithm 7)", RunE5},
-		{"E6", "Raft VAC decomposition (Algorithms 10-11)", RunE6},
-		{"E7", "VAC from two adopt-commits (Section 5 construction)", RunE7},
-		{"E8", "Ben-Or's three outcome classes (Section 5 separation evidence)", RunE8},
-		{"E9", "Rounds-to-consensus distribution vs n (reconciliator termination)", RunE9},
-		{"E10", "Message complexity per round, all three protocols", RunE10},
-		{"E11", "Multivalued consensus extension (seen-set reconciliator)", RunE11},
-		{"E12", "Shared-memory consensus (Aspnes framework, Algorithm 2)", RunE12},
-		{"E13", "PreVote ablation: term inflation and post-heal disruption", RunE13},
+		{ID: "F1", Name: "Raft message formats (paper Figure 1): codec round-trip and sizes", Run: RunF1},
+		{ID: "F2", Name: "Raft state variables (paper Figure 2): transitions through an election", Run: RunF2},
+		{ID: "E1", Name: "Ben-Or decomposed under Algorithm 1: safety and rounds", Run: RunE1},
+		{ID: "E2", Name: "Ben-Or decomposed vs monolithic baseline", Run: RunE2},
+		{ID: "E3", Name: "Phase-King decomposed under Algorithm 2 vs Byzantine adversaries", Run: RunE3},
+		{ID: "E4", Name: "Phase-King decomposed vs monolithic baseline", Run: RunE4},
+		{ID: "EA", Name: "King-diversion adversary: paper's first-commit rule vs classical rule", Run: RunEA},
+		{ID: "E5", Name: "Raft single-decree consensus (Algorithm 7)", Run: RunE5, WallClock: true},
+		{ID: "E6", Name: "Raft VAC decomposition (Algorithms 10-11)", Run: RunE6, WallClock: true},
+		{ID: "E7", Name: "VAC from two adopt-commits (Section 5 construction)", Run: RunE7},
+		{ID: "E8", Name: "Ben-Or's three outcome classes (Section 5 separation evidence)", Run: RunE8},
+		{ID: "E9", Name: "Rounds-to-consensus distribution vs n (reconciliator termination)", Run: RunE9},
+		{ID: "E10", Name: "Message complexity per round, all three protocols", Run: RunE10, WallClock: true},
+		{ID: "E11", Name: "Multivalued consensus extension (seen-set reconciliator)", Run: RunE11},
+		{ID: "E12", Name: "Shared-memory consensus (Aspnes framework, Algorithm 2)", Run: RunE12},
+		{ID: "E13", Name: "PreVote ablation: term inflation and post-heal disruption", Run: RunE13, WallClock: true},
 	}
 }
 
@@ -134,6 +140,51 @@ func ByID(id string) (Experiment, bool) {
 	}
 	return Experiment{}, false
 }
+
+// runCells executes fn for every cell index [0, cells) on a bounded
+// worker pool, explore.Sweep-style, and returns the per-cell results in
+// index order so tables render identically to a sequential run. Each cell
+// is an independent slice of an experiment's parameter grid (its trials
+// build their own networks and recorders), so cells parallelize freely;
+// the pool is bounded by GOMAXPROCS because cells are CPU-bound. The
+// first cell error aborts the experiment, as in the sequential code.
+//
+// Experiments whose trials run real wall-clock timers (the Raft matrix:
+// E5, E6, E13, and E10's Raft rows) deliberately do NOT go through this
+// pool: overlapping timer-driven trials distort their time-to-decision
+// measurements and can starve heartbeats on small machines.
+func runCells[T any](cells int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, cells)
+	errs := make([]error, cells)
+	parallelism := runtime.GOMAXPROCS(0)
+	if parallelism > cells {
+		parallelism = cells
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < cells; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// row is one rendered table row produced by a parallel cell.
+type row []any
 
 // stats is a tiny aggregation helper.
 type stats struct {

@@ -132,40 +132,55 @@ func RunE1(s Suite) (Table, error) {
 		sizes = append(sizes, 17)
 	}
 	splits := []workload.Split{workload.SplitUnanimous1, workload.SplitOneDissent, workload.SplitHalf, workload.SplitRandom}
+	type cell struct {
+		n, tFaults, crashCount int
+		split                  workload.Split
+	}
+	var cells []cell
 	for _, n := range sizes {
 		tFaults := (n - 1) / 2
 		for _, crashCount := range []int{0, tFaults} {
 			for _, split := range splits {
-				var (
-					rounds, msgs stats
-					decided      int
-					report       checker.Report
-				)
-				for trial := 0; trial < s.Trials; trial++ {
-					seed := s.BaseSeed + uint64(n*1000+int(split)*100+crashCount*10+trial)
-					rng := sim.NewRNG(seed)
-					inputs := workload.BinaryInputs(split, n, rng)
-					var crashes []workload.CrashSpec
-					if crashCount > 0 {
-						crashes = workload.CrashPlan(n, crashCount, rng)
-					}
-					tr, err := runBenOr(variantDecomposed, n, tFaults, inputs, crashes, seed, 2000, false)
-					if err != nil {
-						return tbl, err
-					}
-					inputMap := workload.InputsToMap(inputs)
-					report.Merge(checker.CheckConsensus(tr.outcomes, inputMap, crashCount == 0))
-					rounds.add(float64(tr.maxRound))
-					msgs.add(float64(tr.stats.MessagesSent))
-					decided += len(tr.decidedAt)
-				}
-				tbl.AddRow(n, tFaults, crashCount, split, s.Trials, decided,
-					rounds.mean(), int(rounds.max()), msgs.mean(), len(report.Violations))
-				if !report.Ok() {
-					return tbl, fmt.Errorf("E1: %v", report.Violations[0])
-				}
+				cells = append(cells, cell{n, tFaults, crashCount, split})
 			}
 		}
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		var (
+			rounds, msgs stats
+			decided      int
+			report       checker.Report
+		)
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := s.BaseSeed + uint64(c.n*1000+int(c.split)*100+c.crashCount*10+trial)
+			rng := sim.NewRNG(seed)
+			inputs := workload.BinaryInputs(c.split, c.n, rng)
+			var crashes []workload.CrashSpec
+			if c.crashCount > 0 {
+				crashes = workload.CrashPlan(c.n, c.crashCount, rng)
+			}
+			tr, err := runBenOr(variantDecomposed, c.n, c.tFaults, inputs, crashes, seed, 2000, false)
+			if err != nil {
+				return nil, err
+			}
+			inputMap := workload.InputsToMap(inputs)
+			report.Merge(checker.CheckConsensus(tr.outcomes, inputMap, c.crashCount == 0))
+			rounds.add(float64(tr.maxRound))
+			msgs.add(float64(tr.stats.MessagesSent))
+			decided += len(tr.decidedAt)
+		}
+		if !report.Ok() {
+			return nil, fmt.Errorf("E1: %v", report.Violations[0])
+		}
+		return row{c.n, c.tFaults, c.crashCount, c.split, s.Trials, decided,
+			rounds.mean(), int(rounds.max()), msgs.mean(), len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"unanimous inputs must decide in round 1 (VAC convergence); splits pay coin-flip rounds",
@@ -185,35 +200,48 @@ func RunE2(s Suite) (Table, error) {
 	n := 5
 	tFaults := 2
 	splits := []workload.Split{workload.SplitUnanimous1, workload.SplitHalf, workload.SplitRandom}
+	type cell struct {
+		split   workload.Split
+		name    string
+		variant benOrVariant
+	}
+	var cells []cell
 	for _, split := range splits {
-		for _, v := range []struct {
-			name    string
-			variant benOrVariant
-		}{{"decomposed", variantDecomposed}, {"monolithic", variantMonolithic}} {
-			var (
-				rounds, msgs, mpr stats
-				report            checker.Report
-			)
-			for trial := 0; trial < s.Trials; trial++ {
-				seed := s.BaseSeed + uint64(int(split)*100+trial)
-				rng := sim.NewRNG(seed)
-				inputs := workload.BinaryInputs(split, n, rng)
-				tr, err := runBenOr(v.variant, n, tFaults, inputs, nil, seed, 2000, false)
-				if err != nil {
-					return tbl, err
-				}
-				report.Merge(checker.CheckConsensus(tr.outcomes, workload.InputsToMap(inputs), true))
-				rounds.add(float64(tr.maxRound))
-				msgs.add(float64(tr.stats.MessagesSent))
-				if tr.maxRound > 0 {
-					mpr.add(float64(tr.stats.MessagesSent) / float64(tr.maxRound))
-				}
+		cells = append(cells,
+			cell{split, "decomposed", variantDecomposed},
+			cell{split, "monolithic", variantMonolithic})
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		var (
+			rounds, msgs, mpr stats
+			report            checker.Report
+		)
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := s.BaseSeed + uint64(int(c.split)*100+trial)
+			rng := sim.NewRNG(seed)
+			inputs := workload.BinaryInputs(c.split, n, rng)
+			tr, err := runBenOr(c.variant, n, tFaults, inputs, nil, seed, 2000, false)
+			if err != nil {
+				return nil, err
 			}
-			tbl.AddRow(n, split, v.name, s.Trials, rounds.mean(), msgs.mean(), mpr.mean(), len(report.Violations))
-			if !report.Ok() {
-				return tbl, fmt.Errorf("E2: %v", report.Violations[0])
+			report.Merge(checker.CheckConsensus(tr.outcomes, workload.InputsToMap(inputs), true))
+			rounds.add(float64(tr.maxRound))
+			msgs.add(float64(tr.stats.MessagesSent))
+			if tr.maxRound > 0 {
+				mpr.add(float64(tr.stats.MessagesSent) / float64(tr.maxRound))
 			}
 		}
+		if !report.Ok() {
+			return nil, fmt.Errorf("E2: %v", report.Violations[0])
+		}
+		return row{n, c.split, c.name, s.Trials, rounds.mean(), msgs.mean(), mpr.mean(), len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"both variants exchange the identical message pattern; the object boundary costs no extra messages")
@@ -234,37 +262,52 @@ func RunE9(s Suite) (Table, error) {
 		sizes = append(sizes, 13)
 	}
 	trials := s.Trials * 2
+	type cell struct {
+		n, tFaults int
+		p          float64 // coin bias; fair cells run the standard reconciliator
+		biased     bool
+	}
+	var cells []cell
 	for _, n := range sizes {
-		tFaults := (n - 1) / 2
-		var rounds stats
-		for trial := 0; trial < trials; trial++ {
-			seed := s.BaseSeed + uint64(n*10000+trial)
-			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
-			tr, err := runBenOr(variantDecomposed, n, tFaults, inputs, nil, seed, 5000, false)
-			if err != nil {
-				return tbl, err
-			}
-			rounds.add(float64(tr.maxRound))
-		}
-		tbl.AddRow(n, "0.50", trials, rounds.mean(), rounds.percentile(0.5), rounds.percentile(0.95), int(rounds.max()))
+		cells = append(cells, cell{n: n, tFaults: (n - 1) / 2, p: 0.5})
 	}
 	// Coin-bias ablation at n=5: a biased coin aligned with nothing still
 	// terminates; the fair coin is not special.
 	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		n, tFaults := 5, 2
+		cells = append(cells, cell{n: 5, tFaults: 2, p: p, biased: true})
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
 		var rounds stats
 		for trial := 0; trial < trials; trial++ {
-			seed := s.BaseSeed + uint64(trial) + uint64(p*1e4)
-			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
-			tr, err := runBenOrBiased(n, tFaults, inputs, seed, p)
+			var (
+				tr  benorTrial
+				err error
+			)
+			if c.biased {
+				seed := s.BaseSeed + uint64(trial) + uint64(c.p*1e4)
+				rng := sim.NewRNG(seed)
+				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
+				tr, err = runBenOrBiased(c.n, c.tFaults, inputs, seed, c.p)
+			} else {
+				seed := s.BaseSeed + uint64(c.n*10000+trial)
+				rng := sim.NewRNG(seed)
+				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
+				tr, err = runBenOr(variantDecomposed, c.n, c.tFaults, inputs, nil, seed, 5000, false)
+			}
 			if err != nil {
-				return tbl, err
+				return nil, err
 			}
 			rounds.add(float64(tr.maxRound))
 		}
-		tbl.AddRow(n, fmt.Sprintf("%.2f", p), trials, rounds.mean(), rounds.percentile(0.5), rounds.percentile(0.95), int(rounds.max()))
+		return row{c.n, fmt.Sprintf("%.2f", c.p), trials, rounds.mean(),
+			rounds.percentile(0.5), rounds.percentile(0.95), int(rounds.max())}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"expected rounds grow with n under a fair private coin (known theory); any non-degenerate bias still terminates")

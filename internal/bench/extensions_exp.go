@@ -28,7 +28,8 @@ func RunE11(s Suite) (Table, error) {
 	if !s.Quick {
 		cfgs = append(cfgs, cfg{7, 7}, cfg{9, 3})
 	}
-	for _, c := range cfgs {
+	rows, err := runCells(len(cfgs), func(i int) (row, error) {
+		c := cfgs[i]
 		tFaults := (c.n - 1) / 2
 		var (
 			rounds  stats
@@ -75,10 +76,16 @@ func RunE11(s Suite) (Table, error) {
 			}
 			rounds.add(float64(maxRound))
 		}
-		tbl.AddRow(c.n, tFaults, c.domain, s.Trials, decided, rounds.mean(), int(rounds.max()), len(report.Violations))
 		if !report.Ok() {
-			return tbl, fmt.Errorf("E11: %v", report.Violations[0])
+			return nil, fmt.Errorf("E11: %v", report.Violations[0])
 		}
+		return row{c.n, tFaults, c.domain, s.Trials, decided, rounds.mean(), int(rounds.max()), len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"domain is the number of distinct candidate values; expected rounds grow with both n and domain",
@@ -99,53 +106,68 @@ func RunE12(s Suite) (Table, error) {
 	if !s.Quick {
 		sizes = append(sizes, 16, 32)
 	}
+	type cell struct {
+		n     int
+		split string
+	}
+	var cells []cell
 	for _, n := range sizes {
 		for _, split := range []string{"unanimous", "half"} {
-			var (
-				rounds stats
-				report checker.Report
-			)
-			for trial := 0; trial < s.Trials; trial++ {
-				seed := s.BaseSeed + uint64(n*100+trial)
-				rng := sim.NewRNG(seed)
-				cons := sharedmem.NewConsensus(n)
-				inputs := make(map[int]int, n)
-				outs := make([]checker.RunOutcome[int], n)
-				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-				var wg sync.WaitGroup
-				for id := 0; id < n; id++ {
-					v := id % 2
-					if split == "unanimous" {
-						v = 1
-					}
-					inputs[id] = v
-					wg.Add(1)
-					go func(id, v int) {
-						defer wg.Done()
-						d, err := cons.Run(ctx, id, rng.Fork(uint64(id)), v, core.WithMaxRounds(20000))
-						if err == nil {
-							outs[id] = checker.RunOutcome[int]{Node: id, Decided: true, Value: d.Value, Round: d.Round}
-						} else {
-							outs[id] = checker.RunOutcome[int]{Node: id}
-						}
-					}(id, v)
-				}
-				wg.Wait()
-				cancel()
-				report.Merge(checker.CheckConsensus(outs, inputs, true))
-				maxRound := 0
-				for _, o := range outs {
-					if o.Decided && o.Round > maxRound {
-						maxRound = o.Round
-					}
-				}
-				rounds.add(float64(maxRound))
-			}
-			tbl.AddRow(n, split, s.Trials, rounds.mean(), int(rounds.max()), len(report.Violations))
-			if !report.Ok() {
-				return tbl, fmt.Errorf("E12: %v", report.Violations[0])
-			}
+			cells = append(cells, cell{n, split})
 		}
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		var (
+			rounds stats
+			report checker.Report
+		)
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := s.BaseSeed + uint64(c.n*100+trial)
+			rng := sim.NewRNG(seed)
+			cons := sharedmem.NewConsensus(c.n)
+			inputs := make(map[int]int, c.n)
+			outs := make([]checker.RunOutcome[int], c.n)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			var wg sync.WaitGroup
+			for id := 0; id < c.n; id++ {
+				v := id % 2
+				if c.split == "unanimous" {
+					v = 1
+				}
+				inputs[id] = v
+				wg.Add(1)
+				go func(id, v int) {
+					defer wg.Done()
+					d, err := cons.Run(ctx, id, rng.Fork(uint64(id)), v, core.WithMaxRounds(20000))
+					if err == nil {
+						outs[id] = checker.RunOutcome[int]{Node: id, Decided: true, Value: d.Value, Round: d.Round}
+					} else {
+						outs[id] = checker.RunOutcome[int]{Node: id}
+					}
+				}(id, v)
+			}
+			wg.Wait()
+			cancel()
+			report.Merge(checker.CheckConsensus(outs, inputs, true))
+			maxRound := 0
+			for _, o := range outs {
+				if o.Decided && o.Round > maxRound {
+					maxRound = o.Round
+				}
+			}
+			rounds.add(float64(maxRound))
+		}
+		if !report.Ok() {
+			return nil, fmt.Errorf("E12: %v", report.Violations[0])
+		}
+		return row{c.n, c.split, s.Trials, rounds.mean(), int(rounds.max()), len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"unanimous inputs commit in round 1 (AC convergence); contested rounds end when one probabilistic write wins",

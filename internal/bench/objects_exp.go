@@ -27,71 +27,93 @@ func RunE7(s Suite) (Table, error) {
 	}
 	trials := s.Trials * 3
 
-	// VAC from two shared-memory ACs: per-round property check.
+	// Three constructions, one parallel cell per (construction, n).
+	type cell struct {
+		construction string
+		n            int
+	}
+	var cells []cell
 	for _, n := range []int{3, 5, 9} {
-		var (
-			report checker.Report
-			rounds int
-		)
-		for trial := 0; trial < trials; trial++ {
-			seed := s.BaseSeed + uint64(n*1000+trial)
-			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitRandom, n, rng)
-			outs, err := oneCompositeVACRound(n, inputs)
-			if err != nil {
-				return tbl, err
-			}
-			report.Merge(checker.CheckVACRound(outs, workload.InputsToMap(inputs)))
-			rounds++
-		}
-		tbl.AddRow("VAC = AC;AC", n, trials, rounds, "-", len(report.Violations))
-		if !report.Ok() {
-			return tbl, fmt.Errorf("E7 composite VAC: %v", report.Violations[0])
-		}
+		cells = append(cells, cell{"VAC = AC;AC", n})
 	}
-
-	// The composite VAC under the full template with a coin reconciliator.
 	for _, n := range []int{3, 5} {
-		var (
-			roundsStat stats
-			report     checker.Report
-		)
-		for trial := 0; trial < trials; trial++ {
-			seed := s.BaseSeed + uint64(n*77+trial)
-			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
-			outs, maxRound, err := compositeVACConsensus(n, inputs, rng)
-			if err != nil {
-				return tbl, err
-			}
-			report.Merge(checker.CheckConsensus(outs, workload.InputsToMap(inputs), true))
-			roundsStat.add(float64(maxRound))
-		}
-		tbl.AddRow("consensus(AC;AC + coin)", n, trials, "-", roundsStat.mean(), len(report.Violations))
-		if !report.Ok() {
-			return tbl, fmt.Errorf("E7 composite consensus: %v", report.Violations[0])
-		}
+		cells = append(cells, cell{"consensus(AC;AC + coin)", n})
 	}
-
-	// AC from Ben-Or's VAC: per-round AC property check over the
-	// message-passing object.
 	for _, n := range []int{5, 9} {
-		tFaults := (n - 1) / 2
-		var report checker.Report
-		for trial := 0; trial < trials; trial++ {
-			seed := s.BaseSeed + uint64(n*31+trial)
-			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitRandom, n, rng)
-			outs, err := oneACFromVACRound(n, tFaults, inputs, seed)
-			if err != nil {
-				return tbl, err
+		cells = append(cells, cell{"AC = forget(VAC)", n})
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		switch c.construction {
+		case "VAC = AC;AC":
+			// VAC from two shared-memory ACs: per-round property check.
+			var (
+				report checker.Report
+				rounds int
+			)
+			for trial := 0; trial < trials; trial++ {
+				seed := s.BaseSeed + uint64(c.n*1000+trial)
+				rng := sim.NewRNG(seed)
+				inputs := workload.BinaryInputs(workload.SplitRandom, c.n, rng)
+				outs, err := oneCompositeVACRound(c.n, inputs)
+				if err != nil {
+					return nil, err
+				}
+				report.Merge(checker.CheckVACRound(outs, workload.InputsToMap(inputs)))
+				rounds++
 			}
-			report.Merge(checker.CheckACRound(outs, workload.InputsToMap(inputs)))
+			if !report.Ok() {
+				return nil, fmt.Errorf("E7 composite VAC: %v", report.Violations[0])
+			}
+			return row{c.construction, c.n, trials, rounds, "-", len(report.Violations)}, nil
+		case "consensus(AC;AC + coin)":
+			// The composite VAC under the full template with a coin
+			// reconciliator.
+			var (
+				roundsStat stats
+				report     checker.Report
+			)
+			for trial := 0; trial < trials; trial++ {
+				seed := s.BaseSeed + uint64(c.n*77+trial)
+				rng := sim.NewRNG(seed)
+				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
+				outs, maxRound, err := compositeVACConsensus(c.n, inputs, rng)
+				if err != nil {
+					return nil, err
+				}
+				report.Merge(checker.CheckConsensus(outs, workload.InputsToMap(inputs), true))
+				roundsStat.add(float64(maxRound))
+			}
+			if !report.Ok() {
+				return nil, fmt.Errorf("E7 composite consensus: %v", report.Violations[0])
+			}
+			return row{c.construction, c.n, trials, "-", roundsStat.mean(), len(report.Violations)}, nil
+		default:
+			// AC from Ben-Or's VAC: per-round AC property check over the
+			// message-passing object.
+			tFaults := (c.n - 1) / 2
+			var report checker.Report
+			for trial := 0; trial < trials; trial++ {
+				seed := s.BaseSeed + uint64(c.n*31+trial)
+				rng := sim.NewRNG(seed)
+				inputs := workload.BinaryInputs(workload.SplitRandom, c.n, rng)
+				outs, err := oneACFromVACRound(c.n, tFaults, inputs, seed)
+				if err != nil {
+					return nil, err
+				}
+				report.Merge(checker.CheckACRound(outs, workload.InputsToMap(inputs)))
+			}
+			if !report.Ok() {
+				return nil, fmt.Errorf("E7 forgetful AC: %v", report.Violations[0])
+			}
+			return row{c.construction, c.n, trials, trials, "-", len(report.Violations)}, nil
 		}
-		tbl.AddRow("AC = forget(VAC)", n, trials, trials, "-", len(report.Violations))
-		if !report.Ok() {
-			return tbl, fmt.Errorf("E7 forgetful AC: %v", report.Violations[0])
-		}
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"classification: commit iff both ACs commit; adopt iff only the second commits; vacillate otherwise",
@@ -203,7 +225,9 @@ func RunE8(s Suite) (Table, error) {
 			"mixed_rounds", "adopt_ne_decision_runs", "violations"},
 	}
 	trials := s.Trials * 2
-	for _, n := range []int{5, 9} {
+	sizes := []int{5, 9}
+	rows, err := runCells(len(sizes), func(i int) (row, error) {
+		n := sizes[i]
 		tFaults := (n - 1) / 2
 		var (
 			totalRounds, vacN, adoptN, commitN, mixed, premature int
@@ -215,7 +239,7 @@ func RunE8(s Suite) (Table, error) {
 			inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
 			tr, err := runBenOr(variantDecomposed, n, tFaults, inputs, nil, seed, 2000, true)
 			if err != nil {
-				return tbl, err
+				return nil, err
 			}
 			report.Merge(checker.CheckConsensus(tr.outcomes, workload.InputsToMap(inputs), true))
 
@@ -246,10 +270,16 @@ func RunE8(s Suite) (Table, error) {
 				premature++
 			}
 		}
-		tbl.AddRow(n, trials, totalRounds, vacN, adoptN, commitN, mixed, premature, len(report.Violations))
 		if !report.Ok() {
-			return tbl, fmt.Errorf("E8: %v", report.Violations[0])
+			return nil, fmt.Errorf("E8: %v", report.Violations[0])
 		}
+		return row{n, trials, totalRounds, vacN, adoptN, commitN, mixed, premature, len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"mixed_rounds: rounds where vacillate and adopt coexist — the state one AC per round cannot express",
@@ -266,45 +296,67 @@ func RunE10(s Suite) (Table, error) {
 		Title:   "Message complexity per protocol round",
 		Columns: []string{"protocol", "n", "trials", "mean_msgs", "mean_rounds", "msgs_per_round", "msgs_per_round_per_n2"},
 	}
-	// Ben-Or: two broadcasts per processor per round → ~2n² per round.
-	for _, n := range []int{3, 5, 9} {
-		tFaults := (n - 1) / 2
-		var msgs, rounds stats
-		for trial := 0; trial < s.Trials; trial++ {
-			seed := s.BaseSeed + uint64(n*17+trial)
-			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
-			tr, err := runBenOr(variantDecomposed, n, tFaults, inputs, nil, seed, 2000, false)
-			if err != nil {
-				return tbl, err
-			}
-			msgs.add(float64(tr.stats.MessagesSent))
-			rounds.add(float64(tr.maxRound))
-		}
-		mpr := 0.0
-		if rounds.mean() > 0 {
-			mpr = msgs.mean() / rounds.mean()
-		}
-		tbl.AddRow("ben-or", n, s.Trials, msgs.mean(), rounds.mean(), mpr, mpr/float64(n*n))
+	// Ben-Or and Phase-King cells are simulation-time only, so they run
+	// through the parallel pool; the Raft rows below stay sequential (real
+	// timers).
+	type cell struct {
+		protocol string
+		n, t     int
 	}
-	// Phase-King: three exchanges of ≤n messages per processor per phase.
+	var cells []cell
+	for _, n := range []int{3, 5, 9} {
+		cells = append(cells, cell{"ben-or", n, (n - 1) / 2})
+	}
 	for _, size := range []struct{ n, t int }{{4, 1}, {7, 2}, {10, 3}} {
+		cells = append(cells, cell{"phase-king", size.n, size.t})
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		if c.protocol == "ben-or" {
+			// Two broadcasts per processor per round → ~2n² per round.
+			var msgs, rounds stats
+			for trial := 0; trial < s.Trials; trial++ {
+				seed := s.BaseSeed + uint64(c.n*17+trial)
+				rng := sim.NewRNG(seed)
+				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
+				tr, err := runBenOr(variantDecomposed, c.n, c.t, inputs, nil, seed, 2000, false)
+				if err != nil {
+					return nil, err
+				}
+				msgs.add(float64(tr.stats.MessagesSent))
+				rounds.add(float64(tr.maxRound))
+			}
+			mpr := 0.0
+			if rounds.mean() > 0 {
+				mpr = msgs.mean() / rounds.mean()
+			}
+			return row{"ben-or", c.n, s.Trials, msgs.mean(), rounds.mean(), mpr, mpr / float64(c.n*c.n)}, nil
+		}
+		// Phase-King: three exchanges of ≤n messages per processor per
+		// phase.
 		var msgs stats
-		phases := float64(size.t + 2)
+		phases := float64(c.t + 2)
 		for trial := 0; trial < s.Trials; trial++ {
-			seed := s.BaseSeed + uint64(size.n*13+trial)
+			seed := s.BaseSeed + uint64(c.n*13+trial)
 			rng := sim.NewRNG(seed)
-			inputs := workload.BinaryInputs(workload.SplitHalf, size.n, rng)
-			_, st, err := runPhaseKing(false, size.n, size.t, inputs, advFactory{name: "none"}, 2, seed)
+			inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
+			_, st, err := runPhaseKing(false, c.n, c.t, inputs, advFactory{name: "none"}, 2, seed)
 			if err != nil {
-				return tbl, err
+				return nil, err
 			}
 			msgs.add(float64(st.MessagesSent))
 		}
 		mpr := msgs.mean() / phases
-		tbl.AddRow("phase-king", size.n, s.Trials, msgs.mean(), phases, mpr, mpr/float64(size.n*size.n))
+		return row{"phase-king", c.n, s.Trials, msgs.mean(), phases, mpr, mpr / float64(c.n*c.n)}, nil
+	})
+	if err != nil {
+		return tbl, err
 	}
-	// Raft: per "round" (term), message cost is heartbeat-driven.
+	for _, r := range rows {
+		tbl.AddRow(r...)
+	}
+	// Raft: per "round" (term), message cost is heartbeat-driven. These
+	// trials run real wall-clock timers, so they stay sequential.
 	for _, n := range []int{3, 5} {
 		var msgs, terms stats
 		for trial := 0; trial < min(s.Trials, 10); trial++ {

@@ -90,43 +90,59 @@ func RunE3(s Suite) (Table, error) {
 	if !s.Quick {
 		sizes = append(sizes, struct{ n, t int }{10, 3}, struct{ n, t int }{13, 4})
 	}
+	type cell struct {
+		n, t  int
+		adv   advFactory
+		split workload.Split
+	}
+	var cells []cell
 	for _, size := range sizes {
 		for _, adv := range adversaryMenu() {
 			for _, split := range []workload.Split{workload.SplitUnanimous1, workload.SplitHalf} {
-				var (
-					msgs    stats
-					decided int
-					report  checker.Report
-				)
-				for trial := 0; trial < s.Trials; trial++ {
-					seed := s.BaseSeed + uint64(size.n*1000+trial)
-					rng := sim.NewRNG(seed)
-					inputs := workload.BinaryInputs(split, size.n, rng)
-					outs, st, err := runPhaseKing(false, size.n, size.t, inputs, adv, phaseking.RuleFinalValue, seed)
-					if err != nil {
-						return tbl, err
-					}
-					byzIDs := []int{}
-					if adv.make != nil {
-						for id := 0; id < size.t; id++ {
-							byzIDs = append(byzIDs, id)
-						}
-					}
-					inputMap := workload.InputsToMap(inputs, byzIDs...)
-					report.Merge(checker.CheckConsensus(outs, inputMap, true))
-					msgs.add(float64(st.MessagesSent))
-					for _, o := range outs {
-						if o.Decided {
-							decided++
-						}
-					}
+				cells = append(cells, cell{size.n, size.t, adv, split})
+			}
+		}
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		var (
+			msgs    stats
+			decided int
+			report  checker.Report
+		)
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := s.BaseSeed + uint64(c.n*1000+trial)
+			rng := sim.NewRNG(seed)
+			inputs := workload.BinaryInputs(c.split, c.n, rng)
+			outs, st, err := runPhaseKing(false, c.n, c.t, inputs, c.adv, phaseking.RuleFinalValue, seed)
+			if err != nil {
+				return nil, err
+			}
+			byzIDs := []int{}
+			if c.adv.make != nil {
+				for id := 0; id < c.t; id++ {
+					byzIDs = append(byzIDs, id)
 				}
-				tbl.AddRow(size.n, size.t, adv.name, split, s.Trials, decided, msgs.mean(), len(report.Violations))
-				if !report.Ok() {
-					return tbl, fmt.Errorf("E3: %v", report.Violations[0])
+			}
+			inputMap := workload.InputsToMap(inputs, byzIDs...)
+			report.Merge(checker.CheckConsensus(outs, inputMap, true))
+			msgs.add(float64(st.MessagesSent))
+			for _, o := range outs {
+				if o.Decided {
+					decided++
 				}
 			}
 		}
+		if !report.Ok() {
+			return nil, fmt.Errorf("E3: %v", report.Violations[0])
+		}
+		return row{c.n, c.t, c.adv.name, c.split, s.Trials, decided, msgs.mean(), len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"runs are t+2 phases of 3 synchronous exchanges; Byzantine processors occupy the early king slots")
@@ -142,35 +158,46 @@ func RunE4(s Suite) (Table, error) {
 		Columns: []string{"n", "t", "adversary", "variant", "trials", "mean_msgs", "violations"},
 	}
 	size := struct{ n, t int }{7, 2}
+	type cell struct {
+		adv      advFactory
+		name     string
+		baseline bool
+	}
+	var cells []cell
 	for _, adv := range adversaryMenu() {
-		for _, v := range []struct {
-			name     string
-			baseline bool
-		}{{"decomposed", false}, {"monolithic", true}} {
-			var (
-				msgs   stats
-				report checker.Report
-			)
-			for trial := 0; trial < s.Trials; trial++ {
-				seed := s.BaseSeed + uint64(trial*7)
-				rng := sim.NewRNG(seed)
-				inputs := workload.BinaryInputs(workload.SplitHalf, size.n, rng)
-				outs, st, err := runPhaseKing(v.baseline, size.n, size.t, inputs, adv, phaseking.RuleFinalValue, seed)
-				if err != nil {
-					return tbl, err
-				}
-				byzIDs := []int{}
-				if adv.make != nil {
-					byzIDs = []int{0, 1}
-				}
-				report.Merge(checker.CheckConsensus(outs, workload.InputsToMap(inputs, byzIDs...), true))
-				msgs.add(float64(st.MessagesSent))
+		cells = append(cells, cell{adv, "decomposed", false}, cell{adv, "monolithic", true})
+	}
+	rows, err := runCells(len(cells), func(i int) (row, error) {
+		c := cells[i]
+		var (
+			msgs   stats
+			report checker.Report
+		)
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := s.BaseSeed + uint64(trial*7)
+			rng := sim.NewRNG(seed)
+			inputs := workload.BinaryInputs(workload.SplitHalf, size.n, rng)
+			outs, st, err := runPhaseKing(c.baseline, size.n, size.t, inputs, c.adv, phaseking.RuleFinalValue, seed)
+			if err != nil {
+				return nil, err
 			}
-			tbl.AddRow(size.n, size.t, adv.name, v.name, s.Trials, msgs.mean(), len(report.Violations))
-			if !report.Ok() {
-				return tbl, fmt.Errorf("E4: %v", report.Violations[0])
+			byzIDs := []int{}
+			if c.adv.make != nil {
+				byzIDs = []int{0, 1}
 			}
+			report.Merge(checker.CheckConsensus(outs, workload.InputsToMap(inputs, byzIDs...), true))
+			msgs.add(float64(st.MessagesSent))
 		}
+		if !report.Ok() {
+			return nil, fmt.Errorf("E4: %v", report.Violations[0])
+		}
+		return row{size.n, size.t, c.adv.name, c.name, s.Trials, msgs.mean(), len(report.Violations)}, nil
+	})
+	if err != nil {
+		return tbl, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"identical exchange structure: the object boundary adds no synchronous steps or messages")

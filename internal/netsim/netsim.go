@@ -9,12 +9,30 @@
 // no virtual clock here (Raft's timers use internal/sim.Clock); asynchrony
 // is modelled purely as unbounded reordering, which is all the paper's
 // asynchronous algorithms observe.
+//
+// # Sharding and determinism
+//
+// The hot path is sharded so concurrent processors do not serialize on a
+// single network lock. Each receiver owns a mailbox shard (its own mutex,
+// queue, and notify channel), and randomness is split off the root seed
+// into private per-processor streams via sim.RNG.Split: stream
+// ("send", i) drives processor i's broadcast permutations and drop/dup
+// coin flips, and stream ("recv", i) drives the adversarial pop order of
+// i's mailbox. Because every draw a processor observes comes from its own
+// streams, the delivery schedule seen by a fixed sequence of operations
+// is a pure function of the root seed — replayable bit for bit — while
+// operations of different processors proceed in parallel without
+// contending. Cross-cutting control state (partitions, crash flags,
+// close) sits behind a read-mostly sync.RWMutex that sends and receives
+// take only for reading; send quotas decrement via atomics.
 package netsim
 
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"ooc/internal/msgnet"
 	"ooc/internal/sim"
@@ -24,9 +42,9 @@ import (
 // Option configures a Network.
 type Option func(*Network)
 
-// WithRNG supplies the RNG driving delivery order and fault coin flips.
-// The default is a fixed-seed RNG, so unconfigured networks are still
-// deterministic.
+// WithRNG supplies the root RNG from which the per-processor delivery and
+// fault streams are split. The default is a fixed-seed RNG, so
+// unconfigured networks are still deterministic.
 func WithRNG(rng *sim.RNG) Option {
 	return func(n *Network) { n.rng = rng }
 }
@@ -55,7 +73,8 @@ func WithDupRate(p float64) Option {
 
 // WithTamper installs a Byzantine message hook: every sent message passes
 // through fn, which may rewrite it, multiply it, or return nil to eat it.
-// The hook runs under the network lock and must not call back in.
+// The hook runs under the network's control lock and must not call back
+// in.
 func WithTamper(fn func(msgnet.Message) []msgnet.Message) Option {
 	return func(n *Network) { n.tamper = fn }
 }
@@ -64,6 +83,62 @@ func WithTamper(fn func(msgnet.Message) []msgnet.Message) Option {
 // arrival order. Useful for isolating reordering effects in tests.
 func WithFIFO() Option {
 	return func(n *Network) { n.fifo = true }
+}
+
+// mailbox is one receiver's shard: a queue guarded by its own lock plus a
+// one-slot notify channel. The queue is consumed from head forward so a
+// FIFO pop is O(1), and the adversarial pop swaps the chosen element to
+// the head first — also O(1), since the reordering adversary has already
+// randomized which index leaves, so no residual order needs preserving.
+type mailbox struct {
+	mu     sync.Mutex
+	head   int
+	queue  []msgnet.Message
+	notify chan struct{}
+}
+
+// put appends a message to the shard.
+func (b *mailbox) put(m msgnet.Message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+}
+
+// pop removes and returns one pending message; idx picks among the live
+// region using rng when the adversary may reorder (rng nil means FIFO).
+func (b *mailbox) pop(rng *sim.RNG) (msgnet.Message, bool) {
+	b.mu.Lock()
+	live := len(b.queue) - b.head
+	if live == 0 {
+		b.mu.Unlock()
+		return msgnet.Message{}, false
+	}
+	idx := b.head
+	if rng != nil && live > 1 {
+		idx = b.head + rng.Intn(live)
+	}
+	m := b.queue[idx]
+	// Swap-remove against the head, then advance it; zero the vacated
+	// slot so retained payloads do not pin memory.
+	b.queue[idx] = b.queue[b.head]
+	b.queue[b.head] = msgnet.Message{}
+	b.head++
+	if b.head == len(b.queue) {
+		// Drained: rewind onto the same backing array so steady-state
+		// traffic stops growing the queue.
+		b.head = 0
+		b.queue = b.queue[:0]
+	}
+	b.mu.Unlock()
+	return m, true
+}
+
+// clear empties the shard (crash-recovery: in-flight traffic is lost).
+func (b *mailbox) clear() {
+	b.mu.Lock()
+	b.head = 0
+	b.queue = b.queue[:0]
+	b.mu.Unlock()
 }
 
 // Network is the simulated network fabric. Create one with New, then hand
@@ -77,13 +152,20 @@ type Network struct {
 	fifo     bool
 	tamper   func(msgnet.Message) []msgnet.Message
 
-	mu        sync.Mutex
-	closed    bool
-	crashed   []bool
-	sendQuota []int // -1 = unlimited; counts down to model mid-broadcast crashes
-	pending   [][]msgnet.Message
-	notify    []chan struct{}
-	blocked   [][]bool // blocked[i][j]: messages i -> j are cut (partition)
+	// Per-processor shards and streams; the slices are immutable after
+	// New, so the hot path indexes them without any lock.
+	boxes     []mailbox
+	sendRNG   []*sim.RNG // streams Split("send", i): broadcast order, drop/dup coins
+	recvRNG   []*sim.RNG // streams Split("recv", i): mailbox pop order
+	sendQuota []atomic.Int64
+
+	// Control plane: read-mostly cross-cutting state. Sends and receives
+	// take the read side; Crash/Restart/Partition/Heal/Close take the
+	// write side.
+	mu      sync.RWMutex
+	closed  bool
+	crashed []bool
+	blocked [][]bool // blocked[i][j]: messages i -> j are cut (partition)
 }
 
 // New creates a simulated network of n processors.
@@ -95,18 +177,21 @@ func New(n int, opts ...Option) *Network {
 		n:         n,
 		rng:       sim.NewRNG(1),
 		crashed:   make([]bool, n),
-		sendQuota: make([]int, n),
-		pending:   make([][]msgnet.Message, n),
-		notify:    make([]chan struct{}, n),
+		sendQuota: make([]atomic.Int64, n),
+		boxes:     make([]mailbox, n),
 		blocked:   make([][]bool, n),
-	}
-	for i := range nw.notify {
-		nw.notify[i] = make(chan struct{}, 1)
-		nw.sendQuota[i] = -1
-		nw.blocked[i] = make([]bool, n)
 	}
 	for _, opt := range opts {
 		opt(nw)
+	}
+	nw.sendRNG = make([]*sim.RNG, n)
+	nw.recvRNG = make([]*sim.RNG, n)
+	for i := 0; i < n; i++ {
+		nw.boxes[i].notify = make(chan struct{}, 1)
+		nw.sendQuota[i].Store(-1)
+		nw.blocked[i] = make([]bool, n)
+		nw.sendRNG[i] = nw.rng.Split("send", uint64(i))
+		nw.recvRNG[i] = nw.rng.Split("recv", uint64(i))
 	}
 	return nw
 }
@@ -137,9 +222,7 @@ func (nw *Network) Crash(id int) {
 // a random permutation, this injects the canonical "crash mid-broadcast"
 // adversary: an arbitrary subset of recipients sees the final broadcast.
 func (nw *Network) CrashAfterSends(id, k int) {
-	nw.mu.Lock()
-	nw.sendQuota[id] = k
-	nw.mu.Unlock()
+	nw.sendQuota[id].Store(int64(k))
 }
 
 // Restart revives a crashed processor: its mailbox starts empty (whatever
@@ -149,16 +232,16 @@ func (nw *Network) CrashAfterSends(id, k int) {
 func (nw *Network) Restart(id int) {
 	nw.mu.Lock()
 	nw.crashed[id] = false
-	nw.sendQuota[id] = -1
-	nw.pending[id] = nil
+	nw.sendQuota[id].Store(-1)
+	nw.boxes[id].clear()
 	nw.mu.Unlock()
 	nw.rec.Note(id, "restarted")
 }
 
 // Crashed reports whether id has crashed.
 func (nw *Network) Crashed(id int) bool {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	return nw.crashed[id]
 }
 
@@ -200,51 +283,88 @@ func (nw *Network) Close() {
 	nw.mu.Lock()
 	nw.closed = true
 	nw.mu.Unlock()
-	for id := range nw.notify {
+	for id := range nw.boxes {
 		nw.wake(id)
 	}
 }
 
 func (nw *Network) wake(id int) {
 	select {
-	case nw.notify[id] <- struct{}{}:
+	case nw.boxes[id].notify <- struct{}{}:
 	default:
 	}
+}
+
+// quotaCrash flips a sender whose quota just ran out into the crashed
+// state (the rare path of send).
+func (nw *Network) quotaCrash(from int) {
+	nw.mu.Lock()
+	nw.crashed[from] = true
+	nw.mu.Unlock()
+	nw.rec.Crash(from)
+	nw.wake(from)
 }
 
 // send routes one message, applying crash quota, partition, tampering,
 // drop and duplication policies. It reports an error only for local
 // conditions (sender crashed / network closed); remote loss is silent, as
-// on a real asynchronous network.
-func (nw *Network) send(from, to int, payload any) error {
-	nw.mu.Lock()
+// on a real asynchronous network. size is the precomputed wire-size proxy
+// (0 when no recorder is attached), so a broadcast sizes its payload once
+// rather than once per recipient.
+func (nw *Network) send(from, to int, payload any, size int) error {
+	nw.mu.RLock()
 	if nw.closed {
-		nw.mu.Unlock()
+		nw.mu.RUnlock()
 		return msgnet.ErrClosed
 	}
 	if nw.crashed[from] {
-		nw.mu.Unlock()
+		nw.mu.RUnlock()
 		return msgnet.ErrCrashed
 	}
-	if q := nw.sendQuota[from]; q == 0 {
-		nw.crashed[from] = true
-		nw.mu.Unlock()
-		nw.rec.Crash(from)
-		nw.wake(from)
-		return msgnet.ErrCrashed
-	} else if q > 0 {
-		nw.sendQuota[from] = q - 1
+	for {
+		q := nw.sendQuota[from].Load()
+		if q < 0 {
+			break // unlimited
+		}
+		if q == 0 {
+			nw.mu.RUnlock()
+			nw.quotaCrash(from)
+			return msgnet.ErrCrashed
+		}
+		if nw.sendQuota[from].CompareAndSwap(q, q-1) {
+			break
+		}
+	}
+
+	srng := nw.sendRNG[from]
+	if nw.tamper == nil && nw.dupRate == 0 {
+		// Fast path: one message, at most one copy, no intermediate
+		// slices.
+		dropped := nw.blocked[from][to] || nw.crashed[to]
+		if !dropped && nw.dropRate > 0 && srng.Float64() < nw.dropRate {
+			dropped = true
+		}
+		if !dropped {
+			nw.boxes[to].put(msgnet.Message{From: from, To: to, Payload: payload})
+		}
+		nw.mu.RUnlock()
+		if nw.rec != nil {
+			nw.rec.Send(from, to, 0, size, payload)
+			if dropped {
+				nw.rec.Drop(to, from, 0, payload)
+			}
+		}
+		if !dropped {
+			nw.wake(to)
+		}
+		return nil
 	}
 
 	msgs := []msgnet.Message{{From: from, To: to, Payload: payload}}
 	if nw.tamper != nil {
 		msgs = nw.tamper(msgs[0])
 	}
-	type delivery struct {
-		to  int
-		msg msgnet.Message
-	}
-	var deliveries []delivery
+	var delivered []int
 	var drops []msgnet.Message
 	for _, m := range msgs {
 		switch {
@@ -253,27 +373,29 @@ func (nw *Network) send(from, to int, payload any) error {
 			// receiver never reads its mailbox again, so this is
 			// observationally a drop.
 			drops = append(drops, m)
-		case nw.dropRate > 0 && nw.rng.Float64() < nw.dropRate:
+		case nw.dropRate > 0 && srng.Float64() < nw.dropRate:
 			drops = append(drops, m)
 		default:
 			copies := 1
-			if nw.dupRate > 0 && nw.rng.Float64() < nw.dupRate {
+			if nw.dupRate > 0 && srng.Float64() < nw.dupRate {
 				copies = 2
 			}
 			for c := 0; c < copies; c++ {
-				nw.pending[m.To] = append(nw.pending[m.To], m)
-				deliveries = append(deliveries, delivery{to: m.To, msg: m})
+				nw.boxes[m.To].put(m)
+				delivered = append(delivered, m.To)
 			}
 		}
 	}
-	nw.mu.Unlock()
+	nw.mu.RUnlock()
 
-	nw.rec.Send(from, to, 0, approxSize(payload), payload)
-	for _, d := range drops {
-		nw.rec.Drop(d.To, d.From, 0, d.Payload)
+	if nw.rec != nil {
+		nw.rec.Send(from, to, 0, size, payload)
+		for _, d := range drops {
+			nw.rec.Drop(d.To, d.From, 0, d.Payload)
+		}
 	}
-	for _, d := range deliveries {
-		nw.wake(d.to)
+	for _, to := range delivered {
+		nw.wake(to)
 	}
 	return nil
 }
@@ -281,31 +403,50 @@ func (nw *Network) send(from, to int, payload any) error {
 // recvOne pops one pending message for id, honoring the reordering
 // policy. It returns ok=false when nothing is pending.
 func (nw *Network) recvOne(id int) (msgnet.Message, bool, error) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
+	nw.mu.RLock()
 	if nw.crashed[id] {
+		nw.mu.RUnlock()
 		return msgnet.Message{}, false, msgnet.ErrCrashed
 	}
 	if nw.closed {
+		nw.mu.RUnlock()
 		return msgnet.Message{}, false, msgnet.ErrClosed
 	}
-	q := nw.pending[id]
-	if len(q) == 0 {
-		return msgnet.Message{}, false, nil
+	nw.mu.RUnlock()
+	var rng *sim.RNG
+	if !nw.fifo {
+		rng = nw.recvRNG[id]
 	}
-	idx := 0
-	if !nw.fifo && len(q) > 1 {
-		idx = nw.rng.Intn(len(q))
-	}
-	m := q[idx]
-	nw.pending[id] = append(q[:idx], q[idx+1:]...)
-	return m, true, nil
+	m, ok := nw.boxes[id].pop(rng)
+	return m, ok, nil
 }
 
+// approxSize is a rough wire-size proxy used only for accounting (the TCP
+// transport measures real encoded sizes). It is a cheap type switch over
+// the payload kinds the protocols actually send, falling back to the
+// type's shallow size; crucially it never formats the payload.
 func approxSize(payload any) int {
-	// A rough wire-size proxy used only for accounting; the TCP transport
-	// measures real encoded sizes.
-	return len(fmt.Sprintf("%v", payload))
+	switch v := payload.(type) {
+	case nil:
+		return 0
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, uint, int64, uint64, uintptr, float64:
+		return 8
+	case string:
+		return len(v)
+	case []byte:
+		return len(v)
+	default:
+		if t := reflect.TypeOf(payload); t != nil {
+			return int(t.Size())
+		}
+		return 0
+	}
 }
 
 type endpoint struct {
@@ -322,15 +463,25 @@ func (e *endpoint) Send(to int, payload any) error {
 	if to < 0 || to >= e.nw.n {
 		return fmt.Errorf("netsim: send to invalid node %d", to)
 	}
-	return e.nw.send(e.id, to, payload)
+	size := 0
+	if e.nw.rec != nil {
+		size = approxSize(payload)
+	}
+	return e.nw.send(e.id, to, payload, size)
 }
 
 // Broadcast sends to every processor in a random permutation so that a
 // send-quota crash cuts the broadcast at an adversarially chosen subset.
+// The permutation is drawn from the sender's private stream, and the
+// payload is sized once for the whole broadcast, not once per recipient.
 func (e *endpoint) Broadcast(payload any) error {
-	order := e.nw.rng.Perm(e.nw.n)
+	size := 0
+	if e.nw.rec != nil {
+		size = approxSize(payload)
+	}
+	order := e.nw.sendRNG[e.id].Perm(e.nw.n)
 	for _, to := range order {
-		if err := e.nw.send(e.id, to, payload); err != nil {
+		if err := e.nw.send(e.id, to, payload, size); err != nil {
 			return fmt.Errorf("broadcast from %d interrupted: %w", e.id, err)
 		}
 	}
@@ -350,13 +501,15 @@ func (e *endpoint) Recv(ctx context.Context) (msgnet.Message, error) {
 			return msgnet.Message{}, err
 		}
 		if ok {
-			e.nw.rec.Deliver(e.id, m.From, 0, m.Payload)
+			if e.nw.rec != nil {
+				e.nw.rec.Deliver(e.id, m.From, 0, m.Payload)
+			}
 			return m, nil
 		}
 		select {
 		case <-ctx.Done():
 			return msgnet.Message{}, ctx.Err()
-		case <-e.nw.notify[e.id]:
+		case <-e.nw.boxes[e.id].notify:
 		}
 	}
 }

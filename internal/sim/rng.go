@@ -133,3 +133,43 @@ func (r *RNG) Fork(label uint64) *RNG {
 	r.mu.Unlock()
 	return NewRNG(base ^ (label+1)*0x9e3779b97f4a7c15)
 }
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives a deterministic child generator for the stream named by
+// (role, id): the child is seeded as hash(parentState, role, id), so two
+// Splits with the same arguments from the same parent state yield
+// identical streams, while any difference in role or id decorrelates
+// them. Like Fork, Split reads but does not step the parent, so deriving
+// any number of streams leaves the parent's own sequence untouched.
+//
+// This is the determinism contract the sharded network simulator builds
+// on: each (role, id) pair — e.g. ("send", 3) or ("recv", 3) — owns a
+// private stream whose draws depend only on that node's own operation
+// sequence, never on how other nodes' operations interleave with it.
+func (r *RNG) Split(role string, id uint64) *RNG {
+	r.mu.Lock()
+	base := r.s[0] ^ rotl(r.s[2], 23)
+	r.mu.Unlock()
+	// FNV-1a over the role name keeps distinct roles far apart even when
+	// ids collide; mixing id through splitmix64 avalanches small integers.
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(role); i++ {
+		h = (h ^ uint64(role[i])) * 0x100000001b3
+	}
+	return NewRNG(mix64(base) ^ mix64(h) ^ mix64(id+0x9e3779b97f4a7c15))
+}
+
+// Stream is shorthand for Split with an integer role, for call sites that
+// index roles numerically.
+func (r *RNG) Stream(role, id uint64) *RNG {
+	r.mu.Lock()
+	base := r.s[0] ^ rotl(r.s[2], 23)
+	r.mu.Unlock()
+	return NewRNG(mix64(base) ^ mix64(role^0x94d049bb133111eb) ^ mix64(id+0x9e3779b97f4a7c15))
+}

@@ -138,6 +138,62 @@ func TestForkDeterministic(t *testing.T) {
 	}
 }
 
+func TestSplitDeterministic(t *testing.T) {
+	a := NewRNG(77).Split("send", 3)
+	b := NewRNG(77).Split("send", 3)
+	for i := 0; i < 200; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical Split lineage diverged")
+		}
+	}
+}
+
+func TestSplitStreamsDecorrelated(t *testing.T) {
+	parent := NewRNG(2024)
+	pairs := []struct{ x, y *RNG }{
+		{parent.Split("send", 1), parent.Split("send", 2)}, // same role, different id
+		{parent.Split("send", 1), parent.Split("recv", 1)}, // same id, different role
+		{parent.Split("send", 0), parent.Fork(0)},          // Split vs legacy Fork
+	}
+	for pi, p := range pairs {
+		same := 0
+		for i := 0; i < 100; i++ {
+			if p.x.Uint64() == p.y.Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatalf("pair %d: %d/100 identical outputs between supposedly independent streams", pi, same)
+		}
+	}
+}
+
+func TestSplitDoesNotDisturbParent(t *testing.T) {
+	a := NewRNG(5)
+	b := NewRNG(5)
+	_ = a.Split("send", 1)
+	_ = a.Split("recv", 9)
+	_ = a.Stream(2, 4)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split/Stream stepped the parent stream")
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewRNG(13).Stream(1, 6)
+	b := NewRNG(13).Stream(1, 6)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical Stream lineage diverged")
+		}
+	}
+	if NewRNG(13).Stream(1, 6).Uint64() == NewRNG(13).Stream(2, 6).Uint64() {
+		t.Fatal("distinct Stream roles produced an identical first draw")
+	}
+}
+
 func TestShufflePreservesMultiset(t *testing.T) {
 	f := func(seed uint64, raw []byte) bool {
 		if len(raw) > 64 {

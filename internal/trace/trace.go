@@ -6,7 +6,9 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,14 +67,33 @@ type Trace struct {
 	End    time.Time
 }
 
-// Recorder accumulates events. It is safe for concurrent use. The zero
-// value is ready to use; a nil *Recorder discards all events, so protocol
-// code may record unconditionally.
-type Recorder struct {
+// recorderShards is the number of independent append buffers a Recorder
+// spreads its events over. Events shard by their Node, so each simulated
+// processor appends to its own buffer and concurrent recorders contend
+// only on the (uncontended-in-practice) per-shard locks plus one atomic
+// sequence counter, not a single global mutex. A power of two keeps the
+// shard index a mask.
+const recorderShards = 16
+
+// recorderShard is one append buffer. The trailing pad spaces shards a
+// cache line apart so two nodes appending concurrently do not false-share.
+type recorderShard struct {
 	mu     sync.Mutex
 	events []Event
+	_      [32]byte
+}
+
+// Recorder accumulates events. It is safe for concurrent use and sharded
+// internally: events land in per-node append buffers stamped from one
+// global atomic sequence, and Snapshot merges the shards back into
+// sequence order, so the observable Trace is identical to the old
+// single-buffer recorder's. The zero value is ready to use; a nil
+// *Recorder discards all events, so protocol code may record
+// unconditionally.
+type Recorder struct {
 	start  time.Time
-	seq    int
+	seq    atomic.Int64
+	shards [recorderShards]recorderShard
 }
 
 // NewRecorder returns an empty recorder stamped with the current time.
@@ -80,16 +101,22 @@ func NewRecorder() *Recorder {
 	return &Recorder{start: time.Now()}
 }
 
+// shardFor maps a node id (including the -1 "no node" convention) onto a
+// shard index.
+func shardFor(node int) int {
+	return int(uint(node) & (recorderShards - 1))
+}
+
 // Record appends ev to the trace, assigning its sequence number.
 func (r *Recorder) Record(ev Event) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ev.Seq = r.seq
-	r.seq++
-	r.events = append(r.events, ev)
+	ev.Seq = int(r.seq.Add(1) - 1)
+	s := &r.shards[shardFor(ev.Node)]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
 }
 
 // Send records node sending a message of size bytes to peer.
@@ -132,20 +159,42 @@ func (r *Recorder) Decide(node, round int, value any) {
 	r.Record(Event{Kind: KindDecide, Node: node, Peer: -1, Round: round, Value: value})
 }
 
-// Note records a free-form annotation attached to node.
+// Note records a free-form annotation attached to node. Formatting is
+// deferred until the event is known to be retained: a nil recorder pays
+// nothing beyond argument evaluation, and the no-args fast path stores
+// the format string itself without invoking fmt.
 func (r *Recorder) Note(node int, format string, args ...any) {
-	r.Record(Event{Kind: KindNote, Node: node, Peer: -1, Value: fmt.Sprintf(format, args...)})
+	if r == nil {
+		return
+	}
+	var v any = format
+	if len(args) > 0 {
+		v = fmt.Sprintf(format, args...)
+	}
+	r.Record(Event{Kind: KindNote, Node: node, Peer: -1, Value: v})
 }
 
-// Snapshot returns a copy of everything recorded so far.
+// Snapshot returns a copy of everything recorded so far, merged across
+// shards back into global sequence order.
 func (r *Recorder) Snapshot() Trace {
 	if r == nil {
 		return Trace{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	events := make([]Event, len(r.events))
-	copy(events, r.events)
+	total := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		total += len(s.events)
+		s.mu.Unlock()
+	}
+	events := make([]Event, 0, total)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		events = append(events, s.events...)
+		s.mu.Unlock()
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	return Trace{Events: events, Start: r.start, End: time.Now()}
 }
 
@@ -154,7 +203,12 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -61,6 +61,42 @@ func TestRecorderConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestSnapshotMergesShardsInSequenceOrder(t *testing.T) {
+	r := NewRecorder()
+	// Spread events across many distinct shard indices, including the
+	// -1 "no node" convention and ids beyond the shard count.
+	nodes := []int{-1, 0, 1, 15, 16, 17, 31, 100}
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		for _, n := range nodes {
+			r.Deliver(n, 0, i, i)
+		}
+	}
+	tr := r.Snapshot()
+	if len(tr.Events) != rounds*len(nodes) {
+		t.Fatalf("snapshot has %d events, want %d", len(tr.Events), rounds*len(nodes))
+	}
+	for i, ev := range tr.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d; merge is out of order", i, ev.Seq)
+		}
+	}
+}
+
+func TestNoteWithoutArgsStoresFormatVerbatim(t *testing.T) {
+	r := NewRecorder()
+	verbatim := "raw 100" + "%" // built at runtime so vet's printf check stays quiet
+	r.Note(0, verbatim)
+	r.Note(0, "n=%d", 7)
+	tr := r.Snapshot()
+	if got := tr.Events[0].Value; got != verbatim {
+		t.Fatalf("no-args note = %q, want the format string verbatim", got)
+	}
+	if got := tr.Events[1].Value; got != "n=7" {
+		t.Fatalf("formatted note = %q, want %q", got, "n=7")
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	r := NewRecorder()
 	r.Send(0, 1, 1, 8, "m1")
