@@ -29,16 +29,19 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "base seed offset")
 		parallel   = flag.Bool("parallel", false,
 			"run simulation-time experiments concurrently (wall-clock Raft experiments still run sequentially)")
+		jsonOut = flag.Bool("json", false, "render tables as JSON documents instead of aligned text")
+		withMet = flag.Bool("metrics", false,
+			"collect per-cell telemetry snapshots (netsim/object counters and latency histograms) into the tables; implies little overhead but is most useful with -json")
 	)
 	flag.Parse()
-	if err := run(*experiment, *trials, *quick, *seed, *parallel); err != nil {
+	if err := run(*experiment, *trials, *quick, *seed, *parallel, *jsonOut, *withMet); err != nil {
 		fmt.Fprintf(os.Stderr, "oocbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, trials int, quick bool, seed uint64, parallel bool) error {
-	suite := bench.Suite{Trials: trials, Quick: quick, BaseSeed: seed}
+func run(experiment string, trials int, quick bool, seed uint64, parallel, jsonOut, withMet bool) error {
+	suite := bench.Suite{Trials: trials, Quick: quick, BaseSeed: seed, CollectMetrics: withMet}
 	experiments := bench.Experiments()
 	if experiment != "" {
 		e, ok := bench.ByID(experiment)
@@ -48,17 +51,25 @@ func run(experiment string, trials int, quick bool, seed uint64, parallel bool) 
 		experiments = []bench.Experiment{e}
 	}
 	if parallel {
-		return runParallel(experiments, suite)
+		return runParallel(experiments, suite, jsonOut)
 	}
 	for _, e := range experiments {
 		start := time.Now()
-		fmt.Printf("running %s: %s ...\n", e.ID, e.Name)
+		if !jsonOut {
+			fmt.Printf("running %s: %s ...\n", e.ID, e.Name)
+		}
 		tbl, err := e.Run(suite)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		tbl.Render(os.Stdout)
-		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if jsonOut {
+			if err := tbl.RenderJSON(os.Stdout); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		} else {
+			tbl.Render(os.Stdout)
+			fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	return nil
 }
@@ -68,7 +79,7 @@ func run(experiment string, trials int, quick bool, seed uint64, parallel bool) 
 // timer-driven measurements aren't distorted by CPU contention. Each
 // experiment renders into its own buffer; output is printed in
 // presentation order, identical to a sequential run.
-func runParallel(experiments []bench.Experiment, suite bench.Suite) error {
+func runParallel(experiments []bench.Experiment, suite bench.Suite, jsonOut bool) error {
 	type result struct {
 		buf bytes.Buffer
 		dur time.Duration
@@ -82,6 +93,10 @@ func runParallel(experiments []bench.Experiment, suite bench.Suite) error {
 		results[i].dur = time.Since(start).Round(time.Millisecond)
 		if err != nil {
 			results[i].err = fmt.Errorf("%s: %w", e.ID, err)
+			return
+		}
+		if jsonOut {
+			results[i].err = tbl.RenderJSON(&results[i].buf)
 			return
 		}
 		tbl.Render(&results[i].buf)
@@ -112,6 +127,10 @@ func runParallel(experiments []bench.Experiment, suite bench.Suite) error {
 	for i, e := range experiments {
 		if results[i].err != nil {
 			return results[i].err
+		}
+		if jsonOut {
+			os.Stdout.Write(results[i].buf.Bytes())
+			continue
 		}
 		fmt.Printf("running %s: %s ...\n", e.ID, e.Name)
 		os.Stdout.Write(results[i].buf.Bytes())

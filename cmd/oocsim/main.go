@@ -9,7 +9,11 @@
 //	oocsim -protocol multivalue -n 7 -crashes 2
 //	oocsim -protocol sharedmem -n 8 -split half
 //
-// Pass -dump to print the full message-level trace after the run.
+// Pass -dump to print the full message-level trace after the run,
+// -trace-out FILE to save it as a timestamped JSON trace file (which
+// cmd/ooctrace can inspect), and -telemetry ADDR to serve /metrics and
+// /debug/pprof while the run executes (the final metrics snapshot is
+// also printed on exit).
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"ooc/internal/benor"
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 	"ooc/internal/multivalue"
 	"ooc/internal/netsim"
 	"ooc/internal/phaseking"
@@ -46,19 +51,58 @@ func main() {
 		crashLeader = flag.Bool("crash-leader", false, "raft: crash the first elected leader")
 		maxRounds   = flag.Int("max-rounds", 2000, "round bound for the asynchronous protocols")
 		dump        = flag.Bool("dump", false, "print the message-level trace after the run")
+		traceOut    = flag.String("trace-out", "", "write the trace as a timestamped JSON file (inspect with ooctrace)")
+		telemetry   = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 	dumpTrace = *dump
+	traceOutPath = *traceOut
+	if *telemetry != "" {
+		metReg = metrics.NewRegistry()
+		srv, err := metrics.Serve(*telemetry, metReg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oocsim: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+	}
 	if err := run(*protocol, *n, *seed, *split, *crashes, *byzantine, *adversary, *rule, *crashLeader, *maxRounds); err != nil {
 		fmt.Fprintf(os.Stderr, "oocsim: %v\n", err)
 		os.Exit(1)
 	}
+	if metReg != nil {
+		fmt.Println("metrics:")
+		if err := metReg.Snapshot().WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		}
+	}
+	if traceOutFailed {
+		os.Exit(1)
+	}
 }
 
-// dumpTrace controls whether runs print their full trace.
-var dumpTrace bool
+// dumpTrace controls whether runs print their full trace; traceOutPath,
+// when set, saves the trace as a JSON file; metReg, when non-nil,
+// receives every run's telemetry.
+var (
+	dumpTrace      bool
+	traceOutPath   string
+	traceOutFailed bool
+	metReg         *metrics.Registry
+)
 
-// finishTrace prints stats and, with -dump, the event log.
+// newRecorder builds the run's recorder: timestamped when the trace is
+// being saved for timeline inspection, plain (cheaper) otherwise.
+func newRecorder() *trace.Recorder {
+	if traceOutPath != "" {
+		return trace.NewTimedRecorder()
+	}
+	return trace.NewRecorder()
+}
+
+// finishTrace prints stats and, with -dump, the event log; with
+// -trace-out it also saves the JSON trace file.
 func finishTrace(rec *trace.Recorder) {
 	tr := rec.Snapshot()
 	fmt.Printf("stats: %v\n", trace.Summarize(tr))
@@ -67,6 +111,21 @@ func finishTrace(rec *trace.Recorder) {
 		if err := trace.Dump(os.Stdout, tr); err != nil {
 			fmt.Fprintf(os.Stderr, "dump: %v\n", err)
 		}
+	}
+	if traceOutPath != "" {
+		f, err := os.Create(traceOutPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			traceOutFailed = true
+			return
+		}
+		defer f.Close()
+		if err := trace.WriteJSON(f, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			traceOutFailed = true
+			return
+		}
+		fmt.Printf("trace saved to %s (%d events)\n", traceOutPath, len(tr.Events))
 	}
 }
 
@@ -115,8 +174,8 @@ func runBenOr(ctx context.Context, n int, seed uint64, splitName string, crashes
 	if crashes > tFaults {
 		return fmt.Errorf("%d crashes exceed tolerance t=%d", crashes, tFaults)
 	}
-	rec := trace.NewRecorder()
-	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	rec := newRecorder()
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec), netsim.WithMetrics(metReg))
 	rng := sim.NewRNG(seed)
 	inputs := workload.BinaryInputs(split, n, rng)
 	for _, spec := range workload.CrashPlan(n, crashes, rng) {
@@ -138,7 +197,7 @@ func runBenOr(ctx context.Context, n int, seed uint64, splitName string, crashes
 		go func(id int) {
 			defer wg.Done()
 			d, err := benor.RunDecomposed(ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
-				core.WithMaxRounds(maxRounds))
+				core.WithMaxRounds(maxRounds), core.WithRecorder(rec, id), core.WithMetrics(metReg))
 			outs[id] = out{d, err}
 		}(id)
 	}
@@ -181,7 +240,7 @@ func runPhaseKing(ctx context.Context, n int, seed uint64, splitName string, byz
 	if rule == "first" {
 		decRule = phaseking.RuleFirstCommit
 	}
-	rec := trace.NewRecorder()
+	rec := newRecorder()
 	byzIDs := make([]int, 0, len(byz))
 	for id := range byz {
 		byzIDs = append(byzIDs, id)
@@ -192,6 +251,7 @@ func runPhaseKing(ctx context.Context, n int, seed uint64, splitName string, byz
 		Byzantine: byz,
 		Rule:      decRule,
 		Recorder:  rec,
+		Metrics:   metReg,
 	}
 	res, err := phaseking.Run(ctx, cfg)
 	if err != nil {
@@ -217,8 +277,8 @@ func runPhaseKing(ctx context.Context, n int, seed uint64, splitName string, byz
 }
 
 func runRaft(ctx context.Context, n int, seed uint64, crashLeader bool) error {
-	rec := trace.NewRecorder()
-	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	rec := newRecorder()
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec), netsim.WithMetrics(metReg))
 	rng := sim.NewRNG(seed)
 	cns := make([]*raft.ConsensusNode, n)
 	for id := 0; id < n; id++ {
@@ -228,6 +288,7 @@ func runRaft(ctx context.Context, n int, seed uint64, crashLeader bool) error {
 			RNG:               rng.Fork(uint64(id)),
 			ElectionTimeout:   50 * time.Millisecond,
 			HeartbeatInterval: 10 * time.Millisecond,
+			Metrics:           metReg,
 		}, fmt.Sprintf("value-of-p%d", id))
 		if err != nil {
 			return err
@@ -277,8 +338,8 @@ func runMultivalue(ctx context.Context, n int, seed uint64, crashes, maxRounds i
 	if crashes > tFaults {
 		return fmt.Errorf("%d crashes exceed tolerance t=%d", crashes, tFaults)
 	}
-	rec := trace.NewRecorder()
-	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	rec := newRecorder()
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec), netsim.WithMetrics(metReg))
 	rng := sim.NewRNG(seed)
 	inputs := make([]string, n)
 	for id := range inputs {
@@ -303,7 +364,7 @@ func runMultivalue(ctx context.Context, n int, seed uint64, crashes, maxRounds i
 		go func(id int) {
 			defer wg.Done()
 			d, err := multivalue.RunDecomposed[string](ctx, nw.Node(id), rng.Fork(uint64(id)), tFaults, inputs[id],
-				core.WithMaxRounds(maxRounds*10))
+				core.WithMaxRounds(maxRounds*10), core.WithRecorder(rec, id), core.WithMetrics(metReg))
 			outs[id] = out{d, err}
 		}(id)
 	}

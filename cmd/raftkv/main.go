@@ -10,6 +10,13 @@
 // commands on stdin (set k v | del k | get k | status | quit):
 //
 //	raftkv -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// Either mode exposes live telemetry when given -telemetry addr: an HTTP
+// listener serving /metrics (Prometheus text, or JSON with
+// ?format=json) and the standard /debug/pprof endpoints:
+//
+//	raftkv -demo -telemetry 127.0.0.1:9100
+//	curl 127.0.0.1:9100/metrics
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"ooc/internal/metrics"
 	"ooc/internal/raft"
 	"ooc/internal/sim"
 	"ooc/internal/transport"
@@ -28,19 +36,32 @@ import (
 
 func main() {
 	var (
-		demo  = flag.Bool("demo", false, "run an in-process demo cluster and exit")
-		n     = flag.Int("n", 3, "demo cluster size")
-		id    = flag.Int("id", 0, "this node's index into -peers")
-		peers = flag.String("peers", "", "comma-separated cluster addresses, indexed by node id")
+		demo      = flag.Bool("demo", false, "run an in-process demo cluster and exit")
+		n         = flag.Int("n", 3, "demo cluster size")
+		id        = flag.Int("id", 0, "this node's index into -peers")
+		peers     = flag.String("peers", "", "comma-separated cluster addresses, indexed by node id")
+		telemetry = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
 	)
 	flag.Parse()
 	transport.Register(raft.WireTypes()...)
 
+	var reg *metrics.Registry
+	if *telemetry != "" {
+		reg = metrics.NewRegistry()
+		srv, err := metrics.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raftkv: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+	}
+
 	var err error
 	if *demo {
-		err = runDemo(*n)
+		err = runDemo(*n, reg)
 	} else {
-		err = runServer(*id, strings.Split(*peers, ","))
+		err = runServer(*id, strings.Split(*peers, ","), reg)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)
@@ -48,7 +69,7 @@ func main() {
 	}
 }
 
-func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64) (*raft.Node, error) {
+func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, reg *metrics.Registry) (*raft.Node, error) {
 	return raft.NewNode(raft.Config{
 		ID:                id,
 		Endpoint:          ep,
@@ -56,10 +77,11 @@ func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64) (
 		ElectionTimeout:   150 * time.Millisecond,
 		HeartbeatInterval: 30 * time.Millisecond,
 		StateMachine:      kv,
+		Metrics:           reg,
 	})
 }
 
-func runDemo(n int) error {
+func runDemo(n int, reg *metrics.Registry) error {
 	fmt.Printf("starting %d-node raft kv cluster on loopback TCP...\n", n)
 	eps, err := transport.NewLocalCluster(n)
 	if err != nil {
@@ -77,7 +99,7 @@ func runDemo(n int) error {
 	nodes := make([]*raft.Node, n)
 	for id := 0; id < n; id++ {
 		kvs[id] = &raft.KVStore{}
-		node, err := startNode(id, eps[id], kvs[id], 42)
+		node, err := startNode(id, eps[id], kvs[id], 42, reg)
 		if err != nil {
 			return err
 		}
@@ -163,7 +185,7 @@ func awaitApplied(ctx context.Context, kvs []*raft.KVStore, index int, dead map[
 	}
 }
 
-func runServer(id int, peers []string) error {
+func runServer(id int, peers []string, reg *metrics.Registry) error {
 	if len(peers) < 1 || peers[0] == "" {
 		return fmt.Errorf("-peers is required in server mode (or use -demo)")
 	}
@@ -176,7 +198,7 @@ func runServer(id int, peers []string) error {
 	defer cancel()
 
 	kv := &raft.KVStore{}
-	node, err := startNode(id, ep, kv, uint64(time.Now().UnixNano()))
+	node, err := startNode(id, ep, kv, uint64(time.Now().UnixNano()), reg)
 	if err != nil {
 		return err
 	}

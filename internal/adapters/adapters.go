@@ -18,8 +18,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 )
 
 // ACFromVAC turns a vacillate-adopt-commit object into an adopt-commit
@@ -185,6 +187,52 @@ func (iv *InstrumentedVAC[V]) Propose(ctx context.Context, v V, round int) (core
 	x, u, err := iv.vac.Propose(ctx, v, round)
 	if err == nil {
 		iv.log.Add(Outcome{Node: iv.node, Round: round, Conf: x, Value: u})
+	}
+	return x, u, err
+}
+
+// MeteredVAC is InstrumentedVAC's telemetry sibling: instead of an
+// in-memory OutcomeLog it feeds a metrics.Registry — one outcome counter
+// and one invoke-latency histogram per confidence level, under the given
+// object name. Use it to watch a VAC that is not run through the core
+// templates (which meter their objects themselves).
+type MeteredVAC[V comparable] struct {
+	vac      core.VacillateAdoptCommit[V]
+	node     int
+	outcomes [core.Commit + 1]*metrics.Counter
+	latency  [core.Commit + 1]*metrics.Histogram
+	errors   *metrics.Counter
+}
+
+var _ core.VacillateAdoptCommit[int] = (*MeteredVAC[int])(nil)
+
+// NewMeteredVAC wraps vac, registering its instruments under
+// object=<name> with per-outcome labels. A nil registry produces a
+// transparent wrapper (nil instruments no-op).
+func NewMeteredVAC[V comparable](vac core.VacillateAdoptCommit[V], reg *metrics.Registry, name string, node int) *MeteredVAC[V] {
+	mv := &MeteredVAC[V]{vac: vac, node: node}
+	if reg == nil {
+		return mv
+	}
+	for c := core.Vacillate; c <= core.Commit; c++ {
+		mv.outcomes[c] = reg.Counter(metrics.Label("adapters_vac_outcomes_total", "object", name, "outcome", c.String()))
+		mv.latency[c] = reg.Histogram(metrics.Label("adapters_vac_invoke_seconds", "object", name, "outcome", c.String()), nil)
+	}
+	mv.errors = reg.Counter(metrics.Label("adapters_vac_errors_total", "object", name))
+	return mv
+}
+
+// Propose implements core.VacillateAdoptCommit.
+func (mv *MeteredVAC[V]) Propose(ctx context.Context, v V, round int) (core.Confidence, V, error) {
+	start := time.Now()
+	x, u, err := mv.vac.Propose(ctx, v, round)
+	if err != nil {
+		mv.errors.Inc(mv.node)
+		return x, u, err
+	}
+	if x.Valid() {
+		mv.outcomes[x].Inc(mv.node)
+		mv.latency[x].Observe(mv.node, time.Since(start))
 	}
 	return x, u, err
 }

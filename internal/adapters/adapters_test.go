@@ -9,6 +9,7 @@ import (
 
 	"ooc/internal/benor"
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 	"ooc/internal/netsim"
 	"ooc/internal/sim"
 )
@@ -382,5 +383,59 @@ func TestInstrumentedVACRecords(t *testing.T) {
 	}
 	if outs[0].Conf != core.Vacillate || outs[1].Conf != core.Commit || outs[1].Node != 9 {
 		t.Fatalf("outcomes = %+v", outs)
+	}
+}
+
+func TestMeteredVACCountsOutcomes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	inner := core.VACFunc[int](func(_ context.Context, v int, round int) (core.Confidence, int, error) {
+		switch round {
+		case 1:
+			return core.Vacillate, v, nil
+		case 2:
+			return core.Adopt, v, nil
+		default:
+			return core.Commit, v, nil
+		}
+	})
+	mv := NewMeteredVAC[int](inner, reg, "stub", 4)
+	rec := core.ReconciliatorFunc[int](func(_ context.Context, _ core.Confidence, v int, _ int) (int, error) {
+		return v, nil
+	})
+	if _, err := core.RunVAC[int](context.Background(), mv, rec, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for conf, want := range map[string]int64{"vacillate": 1, "adopt": 1, "commit": 1} {
+		name := metrics.Label("adapters_vac_outcomes_total", "object", "stub", "outcome", conf)
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+		hist := metrics.Label("adapters_vac_invoke_seconds", "object", "stub", "outcome", conf)
+		if got := snap.Histograms[hist].Count; got != want {
+			t.Fatalf("%s count = %d, want %d", hist, got, want)
+		}
+	}
+
+	// A nil registry must yield a transparent wrapper.
+	plain := NewMeteredVAC[int](inner, nil, "stub", 4)
+	if x, _, err := plain.Propose(context.Background(), 1, 3); err != nil || x != core.Commit {
+		t.Fatalf("transparent wrapper: (%v, %v)", x, err)
+	}
+}
+
+func TestMeteredVACCountsErrors(t *testing.T) {
+	reg := metrics.NewRegistry()
+	boom := errors.New("boom")
+	inner := core.VACFunc[int](func(_ context.Context, _ int, _ int) (core.Confidence, int, error) {
+		return 0, 0, boom
+	})
+	mv := NewMeteredVAC[int](inner, reg, "err", 0)
+	if _, _, err := mv.Propose(context.Background(), 1, 1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	name := metrics.Label("adapters_vac_errors_total", "object", "err")
+	if got := reg.Snapshot().Counters[name]; got != 1 {
+		t.Fatalf("%s = %d, want 1", name, got)
 	}
 }

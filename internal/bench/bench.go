@@ -14,21 +14,29 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+
+	"ooc/internal/metrics"
 )
 
 // Table is one experiment's output.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// Metrics maps a cell key (the experiment's parameter tuple rendered
+	// as "k=v" pairs) to that cell's telemetry snapshot. Populated only
+	// when Suite.CollectMetrics is set: each cell then runs its trials
+	// against a private registry, so the numbers attribute cleanly.
+	Metrics map[string]metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // AddRow appends a row, stringifying each cell.
@@ -81,6 +89,22 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// RenderJSON writes the table as one indented JSON document, including
+// any per-cell metrics snapshots.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// attachMetrics records a cell's telemetry snapshot under key.
+func (t *Table) attachMetrics(key string, snap metrics.Snapshot) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]metrics.Snapshot)
+	}
+	t.Metrics[key] = snap
+}
+
 // Suite configures how heavy the experiment matrix runs.
 type Suite struct {
 	// Trials is the number of seeded repetitions per configuration.
@@ -90,6 +114,20 @@ type Suite struct {
 	// BaseSeed offsets all seeds so independent invocations can sample
 	// fresh randomness while staying reproducible.
 	BaseSeed uint64
+	// CollectMetrics attaches a private metrics registry to each
+	// instrumented cell and records its snapshot in Table.Metrics. Off by
+	// default: the registry itself is cheap, but cells that don't need
+	// telemetry shouldn't pay even the pointer chases.
+	CollectMetrics bool
+}
+
+// cellRegistry returns a fresh registry when the suite collects metrics,
+// nil otherwise (nil registries hand out nil, no-op instruments).
+func (s Suite) cellRegistry() *metrics.Registry {
+	if !s.CollectMetrics {
+		return nil
+	}
+	return metrics.NewRegistry()
 }
 
 // DefaultSuite is the configuration cmd/oocbench uses.
@@ -185,6 +223,26 @@ func runCells[T any](cells int, fn func(i int) (T, error)) ([]T, error) {
 
 // row is one rendered table row produced by a parallel cell.
 type row []any
+
+// meteredRow couples a table row with the cell's telemetry snapshot (and
+// the key it files under). Cells that don't collect metrics carry an
+// empty snapshot.
+type meteredRow struct {
+	r   row
+	key string
+	met metrics.Snapshot
+}
+
+// addMeteredRows appends the rows to the table, attaching each cell's
+// snapshot when the suite collects metrics.
+func addMeteredRows(tbl *Table, s Suite, rows []meteredRow) {
+	for _, mr := range rows {
+		tbl.AddRow(mr.r...)
+		if s.CollectMetrics {
+			tbl.attachMetrics(mr.key, mr.met)
+		}
+	}
+}
 
 // stats is a tiny aggregation helper.
 type stats struct {

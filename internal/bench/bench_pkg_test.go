@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -105,5 +106,52 @@ func TestEAOutcomeShape(t *testing.T) {
 	}
 	if tbl.Rows[1][3] != "HOLDS" || tbl.Rows[2][3] != "HOLDS" {
 		t.Fatalf("safe rules broken: %v / %v", tbl.Rows[1], tbl.Rows[2])
+	}
+}
+
+// TestCollectMetricsAttachesSnapshots runs E2 with metrics collection on
+// and checks that every cell carries a non-trivial telemetry snapshot
+// whose network counters agree with the laws of the simulator
+// (delivered + dropped <= sent), and that the table renders as JSON.
+func TestCollectMetricsAttachesSnapshots(t *testing.T) {
+	s := QuickSuite()
+	s.CollectMetrics = true
+	tbl, err := RunE2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Metrics) != len(tbl.Rows) {
+		t.Fatalf("metrics for %d cells, want %d", len(tbl.Metrics), len(tbl.Rows))
+	}
+	for key, snap := range tbl.Metrics {
+		sent := snap.Counters["netsim_sends_total"]
+		delivered := snap.Counters["netsim_delivers_total"]
+		dropped := snap.Counters["netsim_drops_total"]
+		if sent == 0 {
+			t.Fatalf("cell %s: no sends recorded", key)
+		}
+		if delivered+dropped > sent {
+			t.Fatalf("cell %s: delivered %d + dropped %d > sent %d", key, delivered, dropped, sent)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.ID != "E2" || len(back.Metrics) != len(tbl.Metrics) {
+		t.Fatalf("round-tripped table lost data: %+v", back.ID)
+	}
+
+	// With collection off the table must stay metric-free.
+	plain, err := RunE2(QuickSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != nil {
+		t.Fatalf("metrics attached without CollectMetrics: %v", plain.Metrics)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"ooc/internal/benor"
 	"ooc/internal/checker"
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 	"ooc/internal/netsim"
 	"ooc/internal/sim"
 	"ooc/internal/trace"
@@ -43,9 +44,10 @@ func runBenOr(
 	seed uint64,
 	maxRounds int,
 	instrument bool,
+	reg *metrics.Registry,
 ) (benorTrial, error) {
 	rec := trace.NewRecorder()
-	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec), netsim.WithMetrics(reg))
 	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
 	crashed := make(map[int]bool, len(crashes))
 	for _, c := range crashes {
@@ -85,10 +87,10 @@ func runBenOr(
 					}
 					iv := adapters.NewInstrumentedVAC[int](vac, trial.instrLog, id)
 					d, err = core.RunVAC[int](ctx, iv, benor.NewReconciliator(nodeRNG), inputs[id],
-						core.WithMaxRounds(maxRounds))
+						core.WithMaxRounds(maxRounds), core.WithMetrics(reg))
 				} else {
 					d, err = benor.RunDecomposed(ctx, nw.Node(id), nodeRNG, tFaults, inputs[id],
-						core.WithMaxRounds(maxRounds))
+						core.WithMaxRounds(maxRounds), core.WithMetrics(reg))
 				}
 			case variantMonolithic:
 				d, err = benor.RunMonolithic(ctx, nw.Node(id), nodeRNG, tFaults, inputs[id], maxRounds, nil)
@@ -145,8 +147,9 @@ func RunE1(s Suite) (Table, error) {
 			}
 		}
 	}
-	rows, err := runCells(len(cells), func(i int) (row, error) {
+	rows, err := runCells(len(cells), func(i int) (meteredRow, error) {
 		c := cells[i]
+		reg := s.cellRegistry()
 		var (
 			rounds, msgs stats
 			decided      int
@@ -160,9 +163,9 @@ func RunE1(s Suite) (Table, error) {
 			if c.crashCount > 0 {
 				crashes = workload.CrashPlan(c.n, c.crashCount, rng)
 			}
-			tr, err := runBenOr(variantDecomposed, c.n, c.tFaults, inputs, crashes, seed, 2000, false)
+			tr, err := runBenOr(variantDecomposed, c.n, c.tFaults, inputs, crashes, seed, 2000, false, reg)
 			if err != nil {
-				return nil, err
+				return meteredRow{}, err
 			}
 			inputMap := workload.InputsToMap(inputs)
 			report.Merge(checker.CheckConsensus(tr.outcomes, inputMap, c.crashCount == 0))
@@ -171,17 +174,19 @@ func RunE1(s Suite) (Table, error) {
 			decided += len(tr.decidedAt)
 		}
 		if !report.Ok() {
-			return nil, fmt.Errorf("E1: %v", report.Violations[0])
+			return meteredRow{}, fmt.Errorf("E1: %v", report.Violations[0])
 		}
-		return row{c.n, c.tFaults, c.crashCount, c.split, s.Trials, decided,
-			rounds.mean(), int(rounds.max()), msgs.mean(), len(report.Violations)}, nil
+		return meteredRow{
+			r: row{c.n, c.tFaults, c.crashCount, c.split, s.Trials, decided,
+				rounds.mean(), int(rounds.max()), msgs.mean(), len(report.Violations)},
+			key: fmt.Sprintf("n=%d,t=%d,crashes=%d,split=%s", c.n, c.tFaults, c.crashCount, c.split),
+			met: reg.Snapshot(),
+		}, nil
 	})
 	if err != nil {
 		return tbl, err
 	}
-	for _, r := range rows {
-		tbl.AddRow(r...)
-	}
+	addMeteredRows(&tbl, s, rows)
 	tbl.Notes = append(tbl.Notes,
 		"unanimous inputs must decide in round 1 (VAC convergence); splits pay coin-flip rounds",
 		"violations column must be 0: agreement/validity/termination checked per trial")
@@ -211,8 +216,9 @@ func RunE2(s Suite) (Table, error) {
 			cell{split, "decomposed", variantDecomposed},
 			cell{split, "monolithic", variantMonolithic})
 	}
-	rows, err := runCells(len(cells), func(i int) (row, error) {
+	rows, err := runCells(len(cells), func(i int) (meteredRow, error) {
 		c := cells[i]
+		reg := s.cellRegistry()
 		var (
 			rounds, msgs, mpr stats
 			report            checker.Report
@@ -221,9 +227,9 @@ func RunE2(s Suite) (Table, error) {
 			seed := s.BaseSeed + uint64(int(c.split)*100+trial)
 			rng := sim.NewRNG(seed)
 			inputs := workload.BinaryInputs(c.split, n, rng)
-			tr, err := runBenOr(c.variant, n, tFaults, inputs, nil, seed, 2000, false)
+			tr, err := runBenOr(c.variant, n, tFaults, inputs, nil, seed, 2000, false, reg)
 			if err != nil {
-				return nil, err
+				return meteredRow{}, err
 			}
 			report.Merge(checker.CheckConsensus(tr.outcomes, workload.InputsToMap(inputs), true))
 			rounds.add(float64(tr.maxRound))
@@ -233,16 +239,18 @@ func RunE2(s Suite) (Table, error) {
 			}
 		}
 		if !report.Ok() {
-			return nil, fmt.Errorf("E2: %v", report.Violations[0])
+			return meteredRow{}, fmt.Errorf("E2: %v", report.Violations[0])
 		}
-		return row{n, c.split, c.name, s.Trials, rounds.mean(), msgs.mean(), mpr.mean(), len(report.Violations)}, nil
+		return meteredRow{
+			r:   row{n, c.split, c.name, s.Trials, rounds.mean(), msgs.mean(), mpr.mean(), len(report.Violations)},
+			key: fmt.Sprintf("split=%s,variant=%s", c.split, c.name),
+			met: reg.Snapshot(),
+		}, nil
 	})
 	if err != nil {
 		return tbl, err
 	}
-	for _, r := range rows {
-		tbl.AddRow(r...)
-	}
+	addMeteredRows(&tbl, s, rows)
 	tbl.Notes = append(tbl.Notes,
 		"both variants exchange the identical message pattern; the object boundary costs no extra messages")
 	return tbl, nil
@@ -276,8 +284,9 @@ func RunE9(s Suite) (Table, error) {
 	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
 		cells = append(cells, cell{n: 5, tFaults: 2, p: p, biased: true})
 	}
-	rows, err := runCells(len(cells), func(i int) (row, error) {
+	rows, err := runCells(len(cells), func(i int) (meteredRow, error) {
 		c := cells[i]
+		reg := s.cellRegistry()
 		var rounds stats
 		for trial := 0; trial < trials; trial++ {
 			var (
@@ -288,36 +297,38 @@ func RunE9(s Suite) (Table, error) {
 				seed := s.BaseSeed + uint64(trial) + uint64(c.p*1e4)
 				rng := sim.NewRNG(seed)
 				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
-				tr, err = runBenOrBiased(c.n, c.tFaults, inputs, seed, c.p)
+				tr, err = runBenOrBiased(c.n, c.tFaults, inputs, seed, c.p, reg)
 			} else {
 				seed := s.BaseSeed + uint64(c.n*10000+trial)
 				rng := sim.NewRNG(seed)
 				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
-				tr, err = runBenOr(variantDecomposed, c.n, c.tFaults, inputs, nil, seed, 5000, false)
+				tr, err = runBenOr(variantDecomposed, c.n, c.tFaults, inputs, nil, seed, 5000, false, reg)
 			}
 			if err != nil {
-				return nil, err
+				return meteredRow{}, err
 			}
 			rounds.add(float64(tr.maxRound))
 		}
-		return row{c.n, fmt.Sprintf("%.2f", c.p), trials, rounds.mean(),
-			rounds.percentile(0.5), rounds.percentile(0.95), int(rounds.max())}, nil
+		return meteredRow{
+			r: row{c.n, fmt.Sprintf("%.2f", c.p), trials, rounds.mean(),
+				rounds.percentile(0.5), rounds.percentile(0.95), int(rounds.max())},
+			key: fmt.Sprintf("n=%d,coin_p=%.2f", c.n, c.p),
+			met: reg.Snapshot(),
+		}, nil
 	})
 	if err != nil {
 		return tbl, err
 	}
-	for _, r := range rows {
-		tbl.AddRow(r...)
-	}
+	addMeteredRows(&tbl, s, rows)
 	tbl.Notes = append(tbl.Notes,
 		"expected rounds grow with n under a fair private coin (known theory); any non-degenerate bias still terminates")
 	return tbl, nil
 }
 
 // runBenOrBiased is the coin-bias ablation variant of runBenOr.
-func runBenOrBiased(n, tFaults int, inputs []int, seed uint64, p float64) (benorTrial, error) {
+func runBenOrBiased(n, tFaults int, inputs []int, seed uint64, p float64, reg *metrics.Registry) (benorTrial, error) {
 	rec := trace.NewRecorder()
-	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec))
+	nw := netsim.New(n, netsim.WithSeed(seed), netsim.WithRecorder(rec), netsim.WithMetrics(reg))
 	rng := sim.NewRNG(seed ^ 0xabcdef)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -334,7 +345,7 @@ func runBenOrBiased(n, tFaults int, inputs []int, seed uint64, p float64) (benor
 				return
 			}
 			recon := benor.NewBiasedReconciliator(rng.Fork(uint64(id)), p)
-			d, err := core.RunVAC[int](ctx, vac, recon, inputs[id], core.WithMaxRounds(5000))
+			d, err := core.RunVAC[int](ctx, vac, recon, inputs[id], core.WithMaxRounds(5000), core.WithMetrics(reg))
 			if err == nil {
 				outcomes[id] = checker.RunOutcome[int]{Node: id, Decided: true, Value: d.Value, Round: d.Round}
 			}

@@ -237,7 +237,7 @@ func RunE8(s Suite) (Table, error) {
 			seed := s.BaseSeed + uint64(n*100+trial)
 			rng := sim.NewRNG(seed)
 			inputs := workload.BinaryInputs(workload.SplitHalf, n, rng)
-			tr, err := runBenOr(variantDecomposed, n, tFaults, inputs, nil, seed, 2000, true)
+			tr, err := runBenOr(variantDecomposed, n, tFaults, inputs, nil, seed, 2000, true, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +319,7 @@ func RunE10(s Suite) (Table, error) {
 				seed := s.BaseSeed + uint64(c.n*17+trial)
 				rng := sim.NewRNG(seed)
 				inputs := workload.BinaryInputs(workload.SplitHalf, c.n, rng)
-				tr, err := runBenOr(variantDecomposed, c.n, c.t, inputs, nil, seed, 2000, false)
+				tr, err := runBenOr(variantDecomposed, c.n, c.t, inputs, nil, seed, 2000, false, nil)
 				if err != nil {
 					return nil, err
 				}

@@ -125,5 +125,6 @@ func RunDecomposed(
 	if err != nil {
 		return core.Decision[int]{}, err
 	}
+	vac.Instrument(core.OptionsFrom(opts...).Metrics)
 	return core.RunVAC[int](ctx, vac, NewReconciliator(rng), v, opts...)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 )
 
@@ -38,6 +39,12 @@ type VAC struct {
 	node msgnet.Endpoint
 	t    int
 	col  *collector
+
+	// Protocol-level counters; nil without Instrument, and nil counters
+	// no-op, so Propose carries no metric branches.
+	rounds    *metrics.Counter
+	ratified  *metrics.Counter // phase-2 broadcasts that carried a value
+	questions *metrics.Counter // phase-2 broadcasts that asked "?"
 }
 
 var _ core.VacillateAdoptCommit[int] = (*VAC)(nil)
@@ -54,6 +61,18 @@ func NewVAC(node msgnet.Endpoint, t int) (*VAC, error) {
 	return &VAC{node: node, t: t, col: newCollector(node)}, nil
 }
 
+// Instrument attaches protocol-level counters: rounds run, and how often
+// phase 2 ratified a majority value versus asking "?". The ratio is the
+// protocol's own view of how close it is to convergence.
+func (va *VAC) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	va.rounds = reg.Counter("benor_vac_rounds_total")
+	va.ratified = reg.Counter("benor_vac_ratify_value_total")
+	va.questions = reg.Counter("benor_vac_ratify_question_total")
+}
+
 // Propose implements core.VacillateAdoptCommit for binary values.
 func (va *VAC) Propose(ctx context.Context, v int, round int) (core.Confidence, int, error) {
 	if v != 0 && v != 1 {
@@ -62,6 +81,7 @@ func (va *VAC) Propose(ctx context.Context, v int, round int) (core.Confidence, 
 	n := va.node.N()
 	quorum := n - va.t
 	va.col.advance(round)
+	va.rounds.Inc(va.node.ID())
 
 	// Phase 1: report the current preference.
 	if err := va.node.Broadcast(Report{Round: round, Value: v}); err != nil {
@@ -84,6 +104,11 @@ func (va *VAC) Propose(ctx context.Context, v int, round int) (core.Confidence, 
 		if 2*counts[w] > n {
 			out.Value, out.HasValue = w, true
 		}
+	}
+	if out.HasValue {
+		va.ratified.Inc(va.node.ID())
+	} else {
+		va.questions.Inc(va.node.ID())
 	}
 	if err := va.node.Broadcast(out); err != nil {
 		return 0, 0, fmt.Errorf("benor: round %d phase 2: %w", round, err)

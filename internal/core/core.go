@@ -27,7 +27,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"ooc/internal/metrics"
 	"ooc/internal/trace"
 )
 
@@ -161,6 +163,11 @@ type Options struct {
 	Recorder *trace.Recorder
 	// Node identifies this processor in trace events.
 	Node int
+	// Metrics, if non-nil, receives per-object invoke latency histograms
+	// keyed by the returned confidence — the live view of the paper's
+	// detector/breaker decomposition: how often the detector vacillates,
+	// adopts, or commits, and how long each outcome takes to produce.
+	Metrics *metrics.Registry
 }
 
 // Option mutates Options; see With*.
@@ -182,15 +189,88 @@ func WithRecorder(rec *trace.Recorder, node int) Option {
 	}
 }
 
-func buildOptions(opts []Option) (Options, error) {
+// WithMetrics attaches a metrics registry; see Options.Metrics. The nil
+// form is a shared no-op so uninstrumented callers don't allocate a
+// closure per run.
+func WithMetrics(reg *metrics.Registry) Option {
+	if reg == nil {
+		return noopOption
+	}
+	return func(o *Options) { o.Metrics = reg }
+}
+
+var noopOption = func(*Options) {}
+
+// OptionsFrom folds opts into an Options value without validating it.
+// Protocol runners (benor.RunDecomposed and friends) use it to inspect
+// cross-cutting settings — the metrics registry in particular — before
+// delegating to the templates.
+func OptionsFrom(opts ...Option) Options {
 	var o Options
 	for _, opt := range opts {
 		opt(&o)
 	}
+	return o
+}
+
+func buildOptions(opts []Option) (Options, error) {
+	o := OptionsFrom(opts...)
 	if o.KeepParticipating && o.MaxRounds <= 0 {
 		return o, errors.New("core: KeepParticipating requires MaxRounds > 0")
 	}
 	return o, nil
+}
+
+// objectMetrics is a template run's pre-registered instrument set: one
+// latency histogram per (object, outcome) pair plus one for the breaker,
+// resolved once at template entry so the round loop never formats a
+// metric name. The zero value (no registry) discards.
+type objectMetrics struct {
+	enabled  bool
+	node     int
+	detector [Commit + 1]*metrics.Histogram // indexed by Confidence
+	breaker  *metrics.Histogram
+}
+
+// newObjectMetrics resolves instruments for a detector ("vac"/"ac") and
+// its stalemate breaker ("reconciliator"/"conciliator").
+func newObjectMetrics(o Options, detector, breaker string) objectMetrics {
+	om := objectMetrics{node: o.Node}
+	if o.Metrics == nil {
+		return om
+	}
+	om.enabled = true
+	for c := Vacillate; c <= Commit; c++ {
+		om.detector[c] = o.Metrics.Histogram(
+			metrics.Label("ooc_object_invoke_seconds", "object", detector, "outcome", c.String()), nil)
+	}
+	om.breaker = o.Metrics.Histogram(
+		metrics.Label("ooc_object_invoke_seconds", "object", breaker, "outcome", "value"), nil)
+	return om
+}
+
+// now reads the clock only when instruments are attached, so the
+// uninstrumented template pays a single branch per invocation.
+func (om objectMetrics) now() time.Time {
+	if !om.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeDetector records one detector invocation's latency under its
+// returned confidence.
+func (om objectMetrics) observeDetector(c Confidence, since time.Time) {
+	if om.enabled && c.Valid() && om.detector[c] != nil {
+		om.detector[c].Observe(om.node, time.Since(since))
+	}
+}
+
+// observeBreaker records one breaker invocation's latency.
+func (om objectMetrics) observeBreaker(since time.Time) {
+	if om.enabled {
+		om.breaker.Observe(om.node, time.Since(since))
+	}
 }
 
 // RunVAC is Algorithm 1, the paper's generic consensus template: rounds
@@ -223,6 +303,7 @@ func RunVAC[V comparable](
 	if err := initObjects(ctx, vac, rec); err != nil {
 		return Decision[V]{}, err
 	}
+	om := newObjectMetrics(o, "vac", "reconciliator")
 
 	var (
 		decision Decision[V]
@@ -240,10 +321,12 @@ func RunVAC[V comparable](
 		}
 
 		o.Recorder.Invoke(o.Node, m, "vac", v)
+		t0 := om.now()
 		x, sigma, err := vac.Propose(ctx, v, m)
 		if err != nil {
 			return Decision[V]{}, fmt.Errorf("round %d: vac: %w", m, err)
 		}
+		om.observeDetector(x, t0)
 		o.Recorder.Return(o.Node, m, "vac", [2]any{x, sigma})
 		if !x.Valid() {
 			return Decision[V]{}, fmt.Errorf("round %d: vac returned %v: %w", m, x, ErrContractViolation)
@@ -252,10 +335,12 @@ func RunVAC[V comparable](
 		switch x {
 		case Vacillate:
 			o.Recorder.Invoke(o.Node, m, "reconciliator", sigma)
+			t0 = om.now()
 			v, err = rec.Reconcile(ctx, x, sigma, m)
 			if err != nil {
 				return Decision[V]{}, fmt.Errorf("round %d: reconciliator: %w", m, err)
 			}
+			om.observeBreaker(t0)
 			o.Recorder.Return(o.Node, m, "reconciliator", v)
 		case Adopt:
 			v = sigma
@@ -299,6 +384,7 @@ func RunAC[V comparable](
 	if err := initObjects(ctx, ac, con); err != nil {
 		return Decision[V]{}, err
 	}
+	om := newObjectMetrics(o, "ac", "conciliator")
 
 	var (
 		decision Decision[V]
@@ -316,18 +402,22 @@ func RunAC[V comparable](
 		}
 
 		o.Recorder.Invoke(o.Node, m, "ac", v)
+		t0 := om.now()
 		x, sigma, err := ac.Propose(ctx, v, m)
 		if err != nil {
 			return Decision[V]{}, fmt.Errorf("round %d: ac: %w", m, err)
 		}
+		om.observeDetector(x, t0)
 		o.Recorder.Return(o.Node, m, "ac", [2]any{x, sigma})
 		switch x {
 		case Adopt:
 			o.Recorder.Invoke(o.Node, m, "conciliator", sigma)
+			t0 = om.now()
 			v, err = con.Conciliate(ctx, x, sigma, m)
 			if err != nil {
 				return Decision[V]{}, fmt.Errorf("round %d: conciliator: %w", m, err)
 			}
+			om.observeBreaker(t0)
 			o.Recorder.Return(o.Node, m, "conciliator", v)
 		case Commit:
 			v = sigma

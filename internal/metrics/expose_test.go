@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(Label("sends_total", "proto", "benor")).Add(0, 42)
+	r.Counter("drops_total").Add(1, 3)
+	r.Gauge("mailbox_depth{node=\"0\"}").Set(7)
+	h := r.Histogram(Label("invoke_seconds", "object", "vac"), []time.Duration{time.Millisecond, time.Second})
+	h.Observe(0, 500*time.Microsecond)
+	h.Observe(0, 100*time.Millisecond)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE drops_total counter",
+		"drops_total 3",
+		`sends_total{proto="benor"} 42`,
+		"# TYPE mailbox_depth gauge",
+		`mailbox_depth{node="0"} 7`,
+		"# TYPE invoke_seconds histogram",
+		`invoke_seconds_bucket{object="vac",le="0.001"} 1`,
+		`invoke_seconds_bucket{object="vac",le="1"} 2`,
+		`invoke_seconds_bucket{object="vac",le="+Inf"} 2`,
+		`invoke_seconds_count{object="vac"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Sum is in seconds: 0.0005 + 0.1 = 0.1005.
+	if !strings.Contains(out, `invoke_seconds_sum{object="vac"} 0.1005`) {
+		t.Fatalf("histogram sum not in seconds:\n%s", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := testRegistry().Snapshot().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("prometheus rendering is not deterministic")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if snap.Counters["drops_total"] != 3 {
+		t.Fatalf("counters lost in JSON: %+v", snap.Counters)
+	}
+	if snap.Histograms[`invoke_seconds{object="vac"}`].Count != 2 {
+		t.Fatalf("histograms lost in JSON: %+v", snap.Histograms)
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	srv := httptest.NewServer(testRegistry().Handler())
+	defer srv.Close()
+
+	get := func(url, accept string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get(srv.URL, "")
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(body, "drops_total 3") {
+		t.Fatalf("default scrape not prometheus text: %s %q", ctype, body)
+	}
+	body, ctype = get(srv.URL+"?format=json", "")
+	if !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"drops_total": 3`) {
+		t.Fatalf("?format=json not JSON: %s %q", ctype, body)
+	}
+	body, _ = get(srv.URL, "application/json")
+	if !strings.Contains(body, `"drops_total": 3`) {
+		t.Fatalf("Accept: application/json not honoured: %q", body)
+	}
+}
+
+func TestServeMountsMetricsAndPprof(t *testing.T) {
+	reg := testRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":             "drops_total 3",
+		"/debug/pprof/":        "profile",
+		"/metrics?format=json": `"drops_total": 3`,
+	} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s missing %q:\n%s", path, want, body)
+		}
+	}
+}

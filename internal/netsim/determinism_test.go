@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/trace"
 )
@@ -277,4 +278,69 @@ func TestConcurrentFaultChurn(t *testing.T) {
 	}()
 	wg.Wait()
 	var _ msgnet.Endpoint = nw.Node(0)
+}
+
+// TestMetricsMatchTraceSummary is the telemetry layer's ground-truth
+// property: the metrics registry and the trace recorder watch the same
+// run through independent code paths (atomic counters on the hot path vs
+// recorded events folded by Summarize), so for any seeded run — drops,
+// duplications, and a mid-broadcast crash included — the two accountings
+// must agree exactly on sends, deliveries, drops, and bytes, and every
+// mailbox-depth gauge must read zero once the mailboxes are drained.
+func TestMetricsMatchTraceSummary(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 1337} {
+		rec := trace.NewRecorder()
+		reg := metrics.NewRegistry()
+		const n = 5
+		nw := New(n, WithSeed(seed), WithRecorder(rec), WithMetrics(reg),
+			WithDropRate(0.2), WithDupRate(0.2))
+		nw.CrashAfterSends(4, 7)
+		for round := 1; round <= 3; round++ {
+			for id := 0; id < n; id++ {
+				if err := nw.Node(id).Broadcast(fmt.Sprintf("r%d-from%d", round, id)); err != nil {
+					if id != 4 {
+						t.Fatalf("broadcast from %d: %v", id, err)
+					}
+					continue
+				}
+				if err := nw.Node(id).Send((id+1)%n, round*100+id); err != nil && id != 4 {
+					t.Fatalf("send from %d: %v", id, err)
+				}
+			}
+		}
+		for id := 0; id < n; id++ {
+			if !nw.Crashed(id) {
+				drain(t, nw, id)
+			}
+		}
+
+		stats := trace.Summarize(rec.Snapshot())
+		snap := reg.Snapshot()
+		for metric, want := range map[string]int{
+			"netsim_sends_total":      stats.MessagesSent,
+			"netsim_delivers_total":   stats.MessagesDelivered,
+			"netsim_drops_total":      stats.MessagesDropped,
+			"netsim_sent_bytes_total": stats.BytesSent,
+		} {
+			if got := snap.Counters[metric]; got != int64(want) {
+				t.Fatalf("seed %d: %s = %d, trace says %d", seed, metric, got, want)
+			}
+		}
+		if stats.MessagesSent == 0 {
+			t.Fatalf("seed %d: degenerate run, nothing sent", seed)
+		}
+		for id := 0; id < n; id++ {
+			gauge := metrics.Label("netsim_mailbox_depth", "node", fmt.Sprint(id))
+			depth, ok := snap.Gauges[gauge]
+			if !ok {
+				t.Fatalf("seed %d: gauge %s not registered", seed, gauge)
+			}
+			if want := int64(queued(nw, id)); depth != want {
+				t.Fatalf("seed %d: %s = %d, mailbox holds %d", seed, gauge, depth, want)
+			}
+			if !nw.Crashed(id) && depth != 0 {
+				t.Fatalf("seed %d: node %d drained but gauge reads %d", seed, id, depth)
+			}
+		}
+	}
 }

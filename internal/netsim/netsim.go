@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/sim"
 	"ooc/internal/trace"
@@ -57,6 +58,47 @@ func WithSeed(seed uint64) Option {
 // WithRecorder attaches a trace recorder; nil is legal and discards.
 func WithRecorder(rec *trace.Recorder) Option {
 	return func(n *Network) { n.rec = rec }
+}
+
+// WithMetrics attaches a live metrics registry: sends, delivers, drops,
+// and payload bytes become counters, and each receiver's mailbox depth a
+// gauge. nil is legal and leaves the network uninstrumented (the hot
+// path then pays only nil checks); the nil form is a shared no-op so
+// uninstrumented callers don't allocate a closure per run.
+func WithMetrics(reg *metrics.Registry) Option {
+	if reg == nil {
+		return noopNetOption
+	}
+	return func(n *Network) { n.metReg = reg }
+}
+
+var noopNetOption = func(*Network) {}
+
+// netMetrics holds the network's pre-registered instruments; the hot
+// path writes through these pointers and never touches the registry.
+type netMetrics struct {
+	sends    *metrics.Counter
+	delivers *metrics.Counter
+	drops    *metrics.Counter
+	bytes    *metrics.Counter
+	depth    []*metrics.Gauge // per-receiver mailbox depth
+}
+
+func newNetMetrics(reg *metrics.Registry, n int) *netMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &netMetrics{
+		sends:    reg.Counter("netsim_sends_total"),
+		delivers: reg.Counter("netsim_delivers_total"),
+		drops:    reg.Counter("netsim_drops_total"),
+		bytes:    reg.Counter("netsim_sent_bytes_total"),
+		depth:    make([]*metrics.Gauge, n),
+	}
+	for i := 0; i < n; i++ {
+		m.depth[i] = reg.Gauge(metrics.Label("netsim_mailbox_depth", "node", fmt.Sprint(i)))
+	}
+	return m
 }
 
 // WithDropRate makes the network lose each message independently with
@@ -147,6 +189,8 @@ type Network struct {
 	n        int
 	rng      *sim.RNG
 	rec      *trace.Recorder
+	metReg   *metrics.Registry
+	met      *netMetrics
 	dropRate float64
 	dupRate  float64
 	fifo     bool
@@ -184,6 +228,7 @@ func New(n int, opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(nw)
 	}
+	nw.met = newNetMetrics(nw.metReg, n)
 	nw.sendRNG = make([]*sim.RNG, n)
 	nw.recvRNG = make([]*sim.RNG, n)
 	for i := 0; i < n; i++ {
@@ -235,6 +280,9 @@ func (nw *Network) Restart(id int) {
 	nw.sendQuota[id].Store(-1)
 	nw.boxes[id].clear()
 	nw.mu.Unlock()
+	if nw.met != nil {
+		nw.met.depth[id].Set(0)
+	}
 	nw.rec.Note(id, "restarted")
 }
 
@@ -348,6 +396,15 @@ func (nw *Network) send(from, to int, payload any, size int) error {
 			nw.boxes[to].put(msgnet.Message{From: from, To: to, Payload: payload})
 		}
 		nw.mu.RUnlock()
+		if m := nw.met; m != nil {
+			m.sends.Inc(from)
+			m.bytes.Add(from, int64(size))
+			if dropped {
+				m.drops.Inc(to)
+			} else {
+				m.depth[to].Add(1)
+			}
+		}
 		if nw.rec != nil {
 			nw.rec.Send(from, to, 0, size, payload)
 			if dropped {
@@ -388,6 +445,14 @@ func (nw *Network) send(from, to int, payload any, size int) error {
 	}
 	nw.mu.RUnlock()
 
+	if m := nw.met; m != nil {
+		m.sends.Inc(from)
+		m.bytes.Add(from, int64(size))
+		m.drops.Add(to, int64(len(drops)))
+		for _, d := range delivered {
+			m.depth[d].Add(1)
+		}
+	}
 	if nw.rec != nil {
 		nw.rec.Send(from, to, 0, size, payload)
 		for _, d := range drops {
@@ -464,7 +529,7 @@ func (e *endpoint) Send(to int, payload any) error {
 		return fmt.Errorf("netsim: send to invalid node %d", to)
 	}
 	size := 0
-	if e.nw.rec != nil {
+	if e.nw.rec != nil || e.nw.met != nil {
 		size = approxSize(payload)
 	}
 	return e.nw.send(e.id, to, payload, size)
@@ -476,7 +541,7 @@ func (e *endpoint) Send(to int, payload any) error {
 // payload is sized once for the whole broadcast, not once per recipient.
 func (e *endpoint) Broadcast(payload any) error {
 	size := 0
-	if e.nw.rec != nil {
+	if e.nw.rec != nil || e.nw.met != nil {
 		size = approxSize(payload)
 	}
 	order := e.nw.sendRNG[e.id].Perm(e.nw.n)
@@ -501,6 +566,10 @@ func (e *endpoint) Recv(ctx context.Context) (msgnet.Message, error) {
 			return msgnet.Message{}, err
 		}
 		if ok {
+			if met := e.nw.met; met != nil {
+				met.delivers.Inc(e.id)
+				met.depth[e.id].Add(-1)
+			}
 			if e.nw.rec != nil {
 				e.nw.rec.Deliver(e.id, m.From, 0, m.Payload)
 			}

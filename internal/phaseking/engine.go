@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 
+	"ooc/internal/metrics"
 	"ooc/internal/netsim"
 )
 
@@ -52,6 +53,11 @@ type engine struct {
 	n    int
 	t    int
 	done int // exchanges completed so far
+
+	// exchanges and kingTurns are nil unless instrument attached a
+	// registry; nil counters no-op, so the hot path stays branch-free.
+	exchanges *metrics.Counter
+	kingTurns *metrics.Counter
 }
 
 func newEngine(net *netsim.SyncNetwork, id, t int) (*engine, error) {
@@ -63,6 +69,17 @@ func newEngine(net *netsim.SyncNetwork, id, t int) (*engine, error) {
 		return nil, fmt.Errorf("phaseking: negative fault bound t=%d", t)
 	}
 	return &engine{net: net, id: id, n: n, t: t}, nil
+}
+
+// instrument attaches protocol-level counters. Exchange counts are the
+// natural cost unit of the synchronous model — one counter tick is one
+// lockstep barrier crossing.
+func (e *engine) instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	e.exchanges = reg.Counter("phaseking_exchanges_total")
+	e.kingTurns = reg.Counter("phaseking_king_turns_total")
 }
 
 // king reports the king of template round m (1-based), cycling over the
@@ -86,6 +103,7 @@ func (e *engine) exchange(ctx context.Context, value any) ([]any, error) {
 		return nil, fmt.Errorf("phaseking: exchange %d: %w", e.done, err)
 	}
 	e.done++
+	e.exchanges.Inc(e.id)
 	return in, nil
 }
 
@@ -95,6 +113,7 @@ func (e *engine) kingExchange(ctx context.Context, m int, v int) ([]any, error) 
 	var out any
 	if e.id == e.king(m) {
 		out = clampBinary(v)
+		e.kingTurns.Inc(e.id)
 	}
 	return e.exchange(ctx, out)
 }

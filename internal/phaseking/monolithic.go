@@ -20,6 +20,7 @@ func runMonolithicProcessor(ctx context.Context, net *netsim.SyncNetwork, id int
 	if err != nil {
 		return core.Decision[int]{}, err
 	}
+	e.instrument(cfg.Metrics)
 	v := cfg.Inputs[id]
 	n, t := e.n, e.t
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 	"ooc/internal/netsim"
 	"ooc/internal/trace"
 )
@@ -42,6 +43,9 @@ type Config struct {
 	Rule DecisionRule
 	// Recorder, if non-nil, receives the run's trace.
 	Recorder *trace.Recorder
+	// Metrics, if non-nil, receives exchange counters and per-object
+	// invoke-latency histograms.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) normalize() error {
@@ -170,12 +174,14 @@ func runDecomposedProcessor(ctx context.Context, net *netsim.SyncNetwork, id int
 	if err != nil {
 		return core.Decision[int]{}, err
 	}
+	ac.e.instrument(cfg.Metrics)
 	switch cfg.Rule {
 	case RuleFirstCommit:
 		d, err := core.RunAC[int](ctx, ac, con, cfg.Inputs[id],
 			core.WithMaxRounds(cfg.Rounds),
 			core.WithKeepParticipating(),
 			core.WithRecorder(cfg.Recorder, id),
+			core.WithMetrics(cfg.Metrics),
 		)
 		if err != nil {
 			return core.Decision[int]{}, err

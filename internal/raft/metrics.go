@@ -1,0 +1,129 @@
+package raft
+
+import (
+	"strconv"
+	"time"
+
+	"ooc/internal/metrics"
+)
+
+// nodeMetrics is the node's telemetry bundle. All observations happen on
+// the main loop goroutine, so the pending-commit map needs no lock; only
+// the instruments themselves are shared (and they are atomic). A nil
+// registry yields a disabled bundle whose methods no-op, mirroring the
+// nil-Recorder convention.
+type nodeMetrics struct {
+	enabled bool
+	node    int
+
+	termChanges   *metrics.Counter
+	elections     *metrics.Counter
+	electionsWon  *metrics.Counter
+	heartbeats    *metrics.Counter
+	appends       *metrics.Counter
+	committed     *metrics.Counter
+	applied       *metrics.Counter
+	snapshots     *metrics.Counter
+	term          *metrics.Gauge
+	commitIndex   *metrics.Gauge
+	commitLatency *metrics.Histogram
+
+	// pending maps a leader-appended log index to its append time; the
+	// entry is consumed when that index commits. Losing leadership
+	// abandons the map (those entries may commit under a later leader,
+	// whose latency we cannot attribute).
+	pending map[int]time.Time
+}
+
+func newNodeMetrics(reg *metrics.Registry, id int) *nodeMetrics {
+	if reg == nil {
+		return &nodeMetrics{}
+	}
+	node := strconv.Itoa(id)
+	return &nodeMetrics{
+		enabled:       true,
+		node:          id,
+		termChanges:   reg.Counter(metrics.Label("raft_term_changes_total", "node", node)),
+		elections:     reg.Counter(metrics.Label("raft_elections_started_total", "node", node)),
+		electionsWon:  reg.Counter(metrics.Label("raft_elections_won_total", "node", node)),
+		heartbeats:    reg.Counter(metrics.Label("raft_heartbeats_total", "node", node)),
+		appends:       reg.Counter(metrics.Label("raft_entries_appended_total", "node", node)),
+		committed:     reg.Counter(metrics.Label("raft_entries_committed_total", "node", node)),
+		applied:       reg.Counter(metrics.Label("raft_entries_applied_total", "node", node)),
+		snapshots:     reg.Counter(metrics.Label("raft_snapshots_total", "node", node)),
+		term:          reg.Gauge(metrics.Label("raft_current_term", "node", node)),
+		commitIndex:   reg.Gauge(metrics.Label("raft_commit_index", "node", node)),
+		commitLatency: reg.Histogram(metrics.Label("raft_commit_latency_seconds", "node", node), nil),
+		pending:       make(map[int]time.Time),
+	}
+}
+
+func (m *nodeMetrics) onTermChange(term int) {
+	if !m.enabled {
+		return
+	}
+	m.termChanges.Inc(m.node)
+	m.term.Set(int64(term))
+}
+
+func (m *nodeMetrics) onElection() {
+	if m.enabled {
+		m.elections.Inc(m.node)
+	}
+}
+
+func (m *nodeMetrics) onElectionWon() {
+	if m.enabled {
+		m.electionsWon.Inc(m.node)
+	}
+}
+
+func (m *nodeMetrics) onHeartbeat() {
+	if m.enabled {
+		m.heartbeats.Inc(m.node)
+	}
+}
+
+func (m *nodeMetrics) onAppendLocal(index int) {
+	if !m.enabled {
+		return
+	}
+	m.appends.Inc(m.node)
+	m.pending[index] = time.Now()
+}
+
+func (m *nodeMetrics) onCommit(old, index int) {
+	if !m.enabled {
+		return
+	}
+	m.committed.Add(m.node, int64(index-old))
+	m.commitIndex.Set(int64(index))
+	now := time.Now()
+	for i := old + 1; i <= index; i++ {
+		if t0, ok := m.pending[i]; ok {
+			m.commitLatency.Observe(m.node, now.Sub(t0))
+			delete(m.pending, i)
+		}
+	}
+}
+
+func (m *nodeMetrics) onApply() {
+	if m.enabled {
+		m.applied.Inc(m.node)
+	}
+}
+
+func (m *nodeMetrics) onSnapshot() {
+	if m.enabled {
+		m.snapshots.Inc(m.node)
+	}
+}
+
+// dropPending abandons attribution for in-flight entries, called when
+// the node loses leadership: a later leader may still commit them, but
+// the latency would mix two reigns.
+func (m *nodeMetrics) dropPending() {
+	if m.enabled && len(m.pending) > 0 {
+		m.pending = make(map[int]time.Time)
+	}
+}

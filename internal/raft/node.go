@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/sim"
 	"ooc/internal/trace"
@@ -68,6 +69,9 @@ type Config struct {
 	ManualCampaign bool
 	// Recorder, if non-nil, receives trace events.
 	Recorder *trace.Recorder
+	// Metrics, if non-nil, receives counters, gauges, and latency
+	// histograms (term changes, elections, heartbeats, commit latency).
+	Metrics *metrics.Registry
 }
 
 func (c *Config) normalize() error {
@@ -98,6 +102,7 @@ func (c *Config) normalize() error {
 type Node struct {
 	cfg Config
 	n   int
+	met *nodeMetrics
 
 	hs       hardState
 	ls       *leaderState
@@ -139,6 +144,7 @@ func NewNode(cfg Config) (*Node, error) {
 	nd := &Node{
 		cfg:        cfg,
 		n:          cfg.Endpoint.N(),
+		met:        newNodeMetrics(cfg.Metrics, cfg.ID),
 		hs:         hardState{votedFor: none, state: Follower, leaderID: none},
 		proposeCh:  make(chan proposeReq),
 		campaignCh: make(chan any, 1),
@@ -261,6 +267,7 @@ func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
 
 		case <-heartbeat.C():
 			if nd.hs.state == Leader {
+				nd.met.onHeartbeat()
 				nd.broadcastAppend()
 			}
 			heartbeat.Reset(nd.cfg.HeartbeatInterval)
@@ -608,6 +615,10 @@ func (nd *Node) onAppendEntriesReply(from int, m AppendEntriesReply) {
 
 func (nd *Node) stepDown(term int) {
 	wasLeader := nd.hs.state != Follower
+	if term != nd.hs.currentTerm {
+		nd.met.onTermChange(term)
+	}
+	nd.met.dropPending()
 	nd.hs.currentTerm = term
 	nd.hs.votedFor = none
 	nd.hs.state = Follower
@@ -624,6 +635,8 @@ func (nd *Node) stepDown(term int) {
 
 func (nd *Node) becomeCandidate() {
 	nd.hs.currentTerm++
+	nd.met.onTermChange(nd.hs.currentTerm)
+	nd.met.onElection()
 	nd.hs.state = Candidate
 	nd.hs.votedFor = nd.cfg.ID
 	nd.hs.leaderID = none
@@ -652,6 +665,7 @@ func (nd *Node) becomeCandidate() {
 }
 
 func (nd *Node) becomeLeader() {
+	nd.met.onElectionWon()
 	nd.hs.state = Leader
 	nd.hs.leaderID = nd.cfg.ID
 	nd.ls = newLeaderState(nd.n, nd.hs.log.lastIndex())
@@ -683,6 +697,7 @@ func (nd *Node) handlePropose(cmd any) proposeReply {
 // appendLocal appends a command to the leader's own log.
 func (nd *Node) appendLocal(cmd any) int {
 	idx := nd.hs.log.appendEntry(Entry{Term: nd.hs.currentTerm, Command: cmd})
+	nd.met.onAppendLocal(idx)
 	nd.persistLog(idx-1, nd.hs.log.slice(idx))
 	nd.ls.matchIndex[nd.cfg.ID] = idx
 	nd.emit(Event{Kind: EventAppended, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: idx, Command: cmd})
@@ -800,6 +815,7 @@ func (nd *Node) maybeCompact() {
 	if !ok {
 		return
 	}
+	nd.met.onSnapshot()
 	nd.hs.log.compactTo(nd.hs.lastApplied)
 	if nd.cfg.Storage != nil {
 		data, err := snap.SnapshotData()
@@ -843,6 +859,7 @@ func (nd *Node) setCommitIndex(index int) {
 	}
 	old := nd.hs.commitIndex
 	nd.hs.commitIndex = index
+	nd.met.onCommit(old, index)
 	for i := old + 1; i <= index; i++ {
 		e, _ := nd.hs.log.entryAt(i)
 		nd.emit(Event{Kind: EventCommitted, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: i, Command: e.Command})
@@ -853,6 +870,7 @@ func (nd *Node) setCommitIndex(index int) {
 		if nd.cfg.StateMachine != nil {
 			nd.cfg.StateMachine.Apply(nd.hs.lastApplied, e.Command)
 		}
+		nd.met.onApply()
 		nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: nd.hs.lastApplied, Command: e.Command})
 	}
 	nd.maybeCompact()

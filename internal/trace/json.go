@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// fileHeader is the first line of a trace file.
+type fileHeader struct {
+	Version int       `json:"version"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Events  int       `json:"events"`
+}
+
+// jsonEvent is the on-disk event form. Payloads are rendered through
+// fmt.Sprint: a trace file is an inspection artifact, not a replay log,
+// and arbitrary payload types (protocol structs, [2]any confidence
+// pairs) have no faithful JSON round-trip. A decoded trace therefore
+// carries string Values.
+type jsonEvent struct {
+	Seq    int    `json:"seq"`
+	Kind   string `json:"kind"`
+	Node   int    `json:"node"`
+	Peer   int    `json:"peer,omitempty"`
+	Round  int    `json:"round,omitempty"`
+	Object string `json:"object,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+	TimeNS int64  `json:"time_ns,omitempty"`
+}
+
+// WriteJSON writes tr as a line-delimited JSON trace file: one header
+// line, then one event per line in sequence order. The format streams —
+// a multi-million-event trace neither buffers fully on write nor on
+// read.
+func WriteJSON(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fileHeader{Version: 1, Start: tr.Start, End: tr.End, Events: len(tr.Events)}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, ev := range tr.Events {
+		je := jsonEvent{
+			Seq:    ev.Seq,
+			Kind:   ev.Kind.String(),
+			Node:   ev.Node,
+			Peer:   ev.Peer,
+			Round:  ev.Round,
+			Object: ev.Object,
+			Bytes:  ev.Bytes,
+			TimeNS: int64(ev.Time),
+		}
+		if ev.Value != nil {
+			je.Value = fmt.Sprint(ev.Value)
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: write event %d: %w", ev.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON decodes a trace file written by WriteJSON. Event Values come
+// back as strings (see jsonEvent); everything else round-trips exactly.
+func ReadJSON(r io.Reader) (Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return Trace{}, fmt.Errorf("trace: read header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return Trace{}, fmt.Errorf("trace: unsupported trace file version %d", hdr.Version)
+	}
+	tr := Trace{Start: hdr.Start, End: hdr.End, Events: make([]Event, 0, hdr.Events)}
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			break
+		} else if err != nil {
+			return Trace{}, fmt.Errorf("trace: read event %d: %w", len(tr.Events), err)
+		}
+		kind, ok := ParseKind(je.Kind)
+		if !ok {
+			return Trace{}, fmt.Errorf("trace: event %d: unknown kind %q", je.Seq, je.Kind)
+		}
+		ev := Event{
+			Seq:    je.Seq,
+			Kind:   kind,
+			Node:   je.Node,
+			Peer:   je.Peer,
+			Round:  je.Round,
+			Object: je.Object,
+			Bytes:  je.Bytes,
+			Time:   time.Duration(je.TimeNS),
+		}
+		if je.Value != "" {
+			ev.Value = je.Value
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr, nil
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleJSONTrace() Trace {
+	rec := NewRecorder()
+	rec.Send(0, 1, 1, 24, "hello")
+	rec.Deliver(1, 0, 1, "hello")
+	rec.Invoke(1, 1, "vac", 0)
+	rec.Return(1, 1, "vac", [2]any{"commit", 0})
+	rec.Decide(1, 1, 0)
+	rec.Drop(2, 0, 2, "lost")
+	rec.Crash(2)
+	rec.Note(0, "free form %d", 7)
+	return rec.Snapshot()
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleJSONTrace()
+	var b strings.Builder
+	if err := WriteJSON(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("event count: got %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i, want := range tr.Events {
+		g := got.Events[i]
+		if g.Seq != want.Seq || g.Kind != want.Kind || g.Node != want.Node ||
+			g.Peer != want.Peer || g.Round != want.Round || g.Object != want.Object ||
+			g.Bytes != want.Bytes {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, want)
+		}
+	}
+	// Values come back stringified.
+	if got.Events[3].Value != "[commit 0]" {
+		t.Fatalf("return payload: got %q, want \"[commit 0]\"", got.Events[3].Value)
+	}
+	// The summaries of the original and decoded traces agree on
+	// everything that doesn't depend on payload types.
+	a, b2 := Summarize(tr), Summarize(got)
+	if a.MessagesSent != b2.MessagesSent || a.MessagesDropped != b2.MessagesDropped ||
+		a.Crashes != b2.Crashes || a.Decisions != b2.Decisions ||
+		a.BytesSent != b2.BytesSent {
+		t.Fatalf("summaries diverge: %+v vs %+v", a, b2)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+	bad := "{\"version\":1}\n{\"seq\":0,\"kind\":\"frobnicate\"}\n"
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestParseKindInvertsString(t *testing.T) {
+	for k := KindSend; k <= KindNote; k++ {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKind("nope"); ok {
+		t.Fatal("ParseKind must reject unknown names")
+	}
+}
+
+func TestTimedRecorderStampsEvents(t *testing.T) {
+	rec := NewTimedRecorder()
+	rec.Send(0, 1, 1, 8, nil)
+	time.Sleep(time.Millisecond)
+	rec.Decide(0, 1, "v")
+	tr := rec.Snapshot()
+	if tr.Events[0].Time < 0 {
+		t.Fatalf("negative offset: %v", tr.Events[0].Time)
+	}
+	if tr.Events[1].Time <= tr.Events[0].Time {
+		t.Fatalf("timestamps not increasing: %v then %v", tr.Events[0].Time, tr.Events[1].Time)
+	}
+	// Plain recorders must not pay for stamping.
+	plain := NewRecorder()
+	plain.Send(0, 1, 1, 8, nil)
+	if got := plain.Snapshot().Events[0].Time; got != 0 {
+		t.Fatalf("untimed recorder stamped an event: %v", got)
+	}
+}
+
+func TestSummarizeReturnsAndRounds(t *testing.T) {
+	rec := NewRecorder()
+	rec.RoundStart(0, 1)
+	rec.Invoke(0, 1, "vac", 1)
+	rec.Return(0, 1, "vac", [2]any{"adopt", 1})
+	rec.Invoke(0, 1, "reconciliator", 1)
+	rec.Return(0, 1, "reconciliator", 0)
+	rec.Invoke(0, 2, "vac", 0)
+	rec.Return(0, 2, "vac", [2]any{"commit", 0})
+	rec.Decide(0, 2, 0)
+	rec.Crash(1) // round 0 bucket
+	s := Summarize(rec.Snapshot())
+
+	if got := s.ReturnsByObject["vac"]; got != 2 {
+		t.Fatalf("vac returns = %d, want 2", got)
+	}
+	if got := s.ReturnsByObject["reconciliator"]; got != 1 {
+		t.Fatalf("reconciliator returns = %d, want 1", got)
+	}
+	// Returns mirror invocations on a clean run.
+	for obj, n := range s.ObjectInvocations {
+		if s.ReturnsByObject[obj] != n {
+			t.Fatalf("object %s: %d invokes but %d returns", obj, n, s.ReturnsByObject[obj])
+		}
+	}
+	if got := s.EventsPerRound[1]; got != 5 {
+		t.Fatalf("round 1 events = %d, want 5", got)
+	}
+	if got := s.EventsPerRound[2]; got != 3 {
+		t.Fatalf("round 2 events = %d, want 3", got)
+	}
+	if got := s.EventsPerRound[0]; got != 1 {
+		t.Fatalf("round 0 (unattributed) events = %d, want 1", got)
+	}
+	total := 0
+	for _, n := range s.EventsPerRound {
+		total += n
+	}
+	if total != 9 {
+		t.Fatalf("EventsPerRound total = %d, want every event counted (9)", total)
+	}
+}

@@ -14,15 +14,29 @@ type Stats struct {
 	MaxRound          int // highest round observed anywhere
 	DecideRound       int // highest round at which any processor decided (0 if none)
 	ObjectInvocations map[string]int
+	// ReturnsByObject counts KindReturn events per object name, the
+	// complement of ObjectInvocations: for a clean run the two match per
+	// object, and a shortfall localizes which object a processor died
+	// inside.
+	ReturnsByObject map[string]int
+	// EventsPerRound counts every event by its Round field (round 0
+	// collects the events with no round attribution: network traffic the
+	// simulator records without protocol context, crashes, notes).
+	EventsPerRound map[int]int
 }
 
-// Summarize folds a trace into aggregate statistics.
+// Summarize folds a trace into aggregate statistics in one pass.
 func Summarize(tr Trace) Stats {
-	s := Stats{ObjectInvocations: make(map[string]int)}
+	s := Stats{
+		ObjectInvocations: make(map[string]int),
+		ReturnsByObject:   make(map[string]int),
+		EventsPerRound:    make(map[int]int),
+	}
 	for _, ev := range tr.Events {
 		if ev.Round > s.MaxRound {
 			s.MaxRound = ev.Round
 		}
+		s.EventsPerRound[ev.Round]++
 		switch ev.Kind {
 		case KindSend:
 			s.MessagesSent++
@@ -40,6 +54,8 @@ func Summarize(tr Trace) Stats {
 			}
 		case KindInvoke:
 			s.ObjectInvocations[ev.Object]++
+		case KindReturn:
+			s.ReturnsByObject[ev.Object]++
 		}
 	}
 	return s
