@@ -509,3 +509,27 @@ func BenchmarkE12SharedMemory(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE14RaftThroughput: experiment E14 — one closed-loop throughput
+// window against a FileStorage-backed cluster, the group-commit and
+// pipelining hot path. Reports committed ops/sec and fsyncs per op.
+func BenchmarkE14RaftThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunRaftThroughput(bench.ThroughputConfig{
+			Nodes:       3,
+			Clients:     8,
+			Duration:    200 * time.Millisecond,
+			Seed:        uint64(i) + 1,
+			FileStorage: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ops == 0 {
+			b.Fatal("no ops committed")
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/sec")
+		b.ReportMetric(res.FsyncsPerOp, "fsyncs/op")
+	}
+}

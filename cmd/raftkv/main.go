@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"ooc/internal/bench"
 	"ooc/internal/metrics"
 	"ooc/internal/raft"
 	"ooc/internal/sim"
@@ -41,6 +42,11 @@ func main() {
 		id        = flag.Int("id", 0, "this node's index into -peers")
 		peers     = flag.String("peers", "", "comma-separated cluster addresses, indexed by node id")
 		telemetry = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
+		benchMode = flag.Bool("bench", false, "run the closed-loop throughput benchmark and exit")
+		clients   = flag.Int("clients", 8, "bench mode: concurrent closed-loop clients")
+		duration  = flag.Duration("duration", time.Second, "bench mode: measurement window")
+		diskStore = flag.Bool("disk", true, "bench mode: persist through FileStorage (fsync path); false = MemStorage")
+		seed      = flag.Uint64("seed", 1, "bench mode: simulation seed")
 	)
 	flag.Parse()
 	transport.Register(raft.WireTypes()...)
@@ -58,15 +64,49 @@ func main() {
 	}
 
 	var err error
-	if *demo {
+	switch {
+	case *benchMode:
+		err = runBench(*n, *clients, *duration, *diskStore, *seed, reg)
+	case *demo:
 		err = runDemo(*n, reg)
-	} else {
+	default:
 		err = runServer(*id, strings.Split(*peers, ","), reg)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runBench runs the closed-loop throughput benchmark (experiment E14's
+// engine) and prints a one-screen report.
+func runBench(n, clients int, duration time.Duration, disk bool, seed uint64, reg *metrics.Registry) error {
+	kind := "mem"
+	if disk {
+		kind = "file (group-commit fsync)"
+	}
+	fmt.Printf("raftkv bench: %d nodes, %d closed-loop clients, %v window, storage=%s\n",
+		n, clients, duration, kind)
+	res, err := bench.RunRaftThroughput(bench.ThroughputConfig{
+		Nodes:       n,
+		Clients:     clients,
+		Duration:    duration,
+		Seed:        seed,
+		FileStorage: disk,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  committed ops   %d\n", res.Ops)
+	fmt.Printf("  throughput      %.0f ops/sec\n", res.OpsPerSec)
+	fmt.Printf("  latency p50     %v\n", res.P50.Round(10*time.Microsecond))
+	fmt.Printf("  latency p99     %v\n", res.P99.Round(10*time.Microsecond))
+	if disk {
+		fmt.Printf("  fsyncs          %d (%.3f per op)\n", res.Fsyncs, res.FsyncsPerOp)
+	}
+	fmt.Printf("  allocs per op   %.1f (process-wide)\n", res.AllocsPerOp)
+	return nil
 }
 
 func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, reg *metrics.Registry) (*raft.Node, error) {

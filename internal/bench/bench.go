@@ -166,6 +166,7 @@ func Experiments() []Experiment {
 		{ID: "E11", Name: "Multivalued consensus extension (seen-set reconciliator)", Run: RunE11},
 		{ID: "E12", Name: "Shared-memory consensus (Aspnes framework, Algorithm 2)", Run: RunE12},
 		{ID: "E13", Name: "PreVote ablation: term inflation and post-heal disruption", Run: RunE13, WallClock: true},
+		{ID: "E14", Name: "Raft closed-loop throughput: coalescing, group commit, pipelining", Run: RunE14, WallClock: true},
 	}
 }
 

@@ -18,9 +18,11 @@ import (
 // The client only needs handles to the nodes it may contact; in a
 // multi-process deployment that is typically one local node.
 type Client struct {
-	nodes   []*Node
-	clock   sim.Clock
-	backoff time.Duration
+	nodes      []*Node
+	clock      sim.Clock
+	backoff    time.Duration // base retry pause; doubles per attempt
+	backoffMax time.Duration // exponential growth cap
+	rng        *sim.RNG      // jitter source; deterministic under a fixed seed
 }
 
 // ClientOption configures a Client.
@@ -31,9 +33,23 @@ func WithClientClock(clock sim.Clock) ClientOption {
 	return func(c *Client) { c.clock = clock }
 }
 
-// WithClientBackoff sets the pause between retries (default 5ms).
+// WithClientBackoff sets the base retry pause (default 5ms). Consecutive
+// failed attempts double it, jittered, up to the WithClientBackoffMax
+// cap.
 func WithClientBackoff(d time.Duration) ClientOption {
 	return func(c *Client) { c.backoff = d }
+}
+
+// WithClientBackoffMax caps the exponential backoff growth (default
+// 32× the base pause).
+func WithClientBackoffMax(d time.Duration) ClientOption {
+	return func(c *Client) { c.backoffMax = d }
+}
+
+// WithClientRNG injects the jitter source, letting simulations keep
+// client retry timing on a deterministic seed.
+func WithClientRNG(rng *sim.RNG) ClientOption {
+	return func(c *Client) { c.rng = rng }
 }
 
 // NewClient builds a client over the contactable nodes.
@@ -49,7 +65,32 @@ func NewClient(nodes []*Node, opts ...ClientOption) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.backoffMax <= 0 {
+		c.backoffMax = 32 * c.backoff
+	}
+	if c.rng == nil {
+		c.rng = sim.NewRNG(0x0c11e47ba7c0ffee)
+	}
 	return c, nil
+}
+
+// nextBackoff computes the pause after attempt consecutive failures:
+// exponential growth capped at backoffMax, with "equal jitter" — half
+// the window is deterministic, half uniform — so a burst of clients
+// retrying after the same election does not thunder back in lockstep.
+func (c *Client) nextBackoff(attempt int) time.Duration {
+	d := c.backoff
+	for i := 0; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(c.rng.Int63()%int64(half))
 }
 
 // Submit proposes cmd, retrying across leader changes until some node
@@ -89,7 +130,7 @@ func (c *Client) Submit(ctx context.Context, cmd any) (index int, node int, err 
 		default:
 			return 0, 0, fmt.Errorf("raft: client submit: %w", perr)
 		}
-		c.clock.Sleep(c.backoff)
+		c.clock.Sleep(c.nextBackoff(attempt))
 	}
 }
 

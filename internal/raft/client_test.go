@@ -238,3 +238,28 @@ func TestRaftReplicationUnderDuplication(t *testing.T) {
 		}
 	}
 }
+
+func TestClientBackoffGrowsCappedAndJittered(t *testing.T) {
+	c := &Client{backoff: time.Millisecond, backoffMax: 8 * time.Millisecond, rng: sim.NewRNG(7)}
+	// The pause after attempt k lies in [base*2^k/2, base*2^k), capped.
+	for attempt := 0; attempt < 12; attempt++ {
+		exp := time.Millisecond << attempt
+		if exp > c.backoffMax {
+			exp = c.backoffMax
+		}
+		for i := 0; i < 50; i++ {
+			d := c.nextBackoff(attempt)
+			if d < exp/2 || d >= exp {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, exp/2, exp)
+			}
+		}
+	}
+	// Same seed, same sequence: deterministic under simulation.
+	a := &Client{backoff: time.Millisecond, backoffMax: 8 * time.Millisecond, rng: sim.NewRNG(42)}
+	b := &Client{backoff: time.Millisecond, backoffMax: 8 * time.Millisecond, rng: sim.NewRNG(42)}
+	for attempt := 0; attempt < 8; attempt++ {
+		if da, db := a.nextBackoff(attempt), b.nextBackoff(attempt); da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+	}
+}

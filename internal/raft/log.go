@@ -107,6 +107,26 @@ func (l *raftLog) slice(from int) []Entry {
 	return out
 }
 
+// sliceLimit returns a copy of at most max entries starting at the
+// global index from — the unit a pipelined AppendEntries carries. A
+// non-positive max means no limit.
+func (l *raftLog) sliceLimit(from, max int) []Entry {
+	if from <= l.snapIndex {
+		from = l.snapIndex + 1
+	}
+	if from > l.lastIndex() {
+		return nil
+	}
+	pos := from - l.snapIndex - 1
+	n := len(l.entries) - pos
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Entry, n)
+	copy(out, l.entries[pos:pos+n])
+	return out
+}
+
 // compactTo discards entries up to and including index, which must be
 // covered by the state-machine snapshot (i.e. applied). No-op when index
 // is not beyond the current compaction point or is unknown.

@@ -237,7 +237,7 @@ func TestStringers(t *testing.T) {
 	checks := map[string]string{
 		RequestVote{Term: 1, CandidateID: 2}.String():       "RequestVote{t=1 cand=2 lastIdx=0 lastTerm=0}",
 		RequestVoteReply{Term: 1}.String():                  "RequestVoteReply{t=1 granted=false}",
-		AppendEntriesReply{Term: 2, Success: true}.String(): "AppendEntriesReply{t=2 ok=true match=0}",
+		AppendEntriesReply{Term: 2, Success: true}.String(): "AppendEntriesReply{t=2 ok=true match=0 hint=0}",
 		DS{Value: 5}.String():                               "D&S(5)",
 		Follower.String():                                   "follower",
 		Leader.String():                                     "leader",

@@ -129,15 +129,23 @@ func (m InstallSnapshot) String() string {
 // is no RPC session to correlate an ack with its request, so the follower
 // reports how far its log provably matches the leader's. (RPC-based Raft
 // implementations reconstruct this from the in-flight request instead.)
+//
+// On rejection, RejectHint carries the highest index that could possibly
+// match — min(PrevLogIndex-1, the follower's last index). Because the
+// hint is derived from the rejected message itself, the leader's rewind
+// makes progress even while pipelined sends have optimistically advanced
+// NextIndex past the probe (§5.3's one-decrement-per-reject walk would
+// merely undo the optimistic bump and loop forever).
 type AppendEntriesReply struct {
 	Term       int
 	Success    bool
 	MatchIndex int
+	RejectHint int
 }
 
 // String implements fmt.Stringer.
 func (m AppendEntriesReply) String() string {
-	return fmt.Sprintf("AppendEntriesReply{t=%d ok=%v match=%d}", m.Term, m.Success, m.MatchIndex)
+	return fmt.Sprintf("AppendEntriesReply{t=%d ok=%v match=%d hint=%d}", m.Term, m.Success, m.MatchIndex, m.RejectHint)
 }
 
 // WireTypes lists every message type this package puts on the network,

@@ -28,6 +28,15 @@ type nodeMetrics struct {
 	commitIndex   *metrics.Gauge
 	commitLatency *metrics.Histogram
 
+	// Replication-pipeline instruments. The two size histograms reuse the
+	// duration-based Histogram with unit bounds: an observation of n is
+	// recorded as time.Duration(n), so bucket bounds read as plain counts.
+	proposeBatch  *metrics.Histogram // proposals coalesced per loop iteration
+	appendEntries *metrics.Histogram // entries per AppendEntries sent
+	inflightDepth *metrics.Histogram // pipeline depth after each send
+	storageFlush  *metrics.Counter   // group-commit flushes (≈ fsyncs)
+	storageRecs   *metrics.Counter   // log mutations inside those flushes
+
 	// pending maps a leader-appended log index to its append time; the
 	// entry is consumed when that index commits. Losing leadership
 	// abandons the map (those entries may commit under a later leader,
@@ -54,9 +63,18 @@ func newNodeMetrics(reg *metrics.Registry, id int) *nodeMetrics {
 		term:          reg.Gauge(metrics.Label("raft_current_term", "node", node)),
 		commitIndex:   reg.Gauge(metrics.Label("raft_commit_index", "node", node)),
 		commitLatency: reg.Histogram(metrics.Label("raft_commit_latency_seconds", "node", node), nil),
+		proposeBatch:  reg.Histogram(metrics.Label("raft_propose_batch_size", "node", node), countBuckets),
+		appendEntries: reg.Histogram(metrics.Label("raft_append_entries_per_message", "node", node), countBuckets),
+		inflightDepth: reg.Histogram(metrics.Label("raft_append_inflight_window", "node", node), countBuckets),
+		storageFlush:  reg.Counter(metrics.Label("raft_storage_flushes_total", "node", node)),
+		storageRecs:   reg.Counter(metrics.Label("raft_storage_records_total", "node", node)),
 		pending:       make(map[int]time.Time),
 	}
 }
+
+// countBuckets are power-of-two "counts disguised as durations" bounds
+// for the batch-size and window-depth histograms.
+var countBuckets = []time.Duration{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 func (m *nodeMetrics) onTermChange(term int) {
 	if !m.enabled {
@@ -104,6 +122,26 @@ func (m *nodeMetrics) onCommit(old, index int) {
 			m.commitLatency.Observe(m.node, now.Sub(t0))
 			delete(m.pending, i)
 		}
+	}
+}
+
+func (m *nodeMetrics) onProposeBatch(n int) {
+	if m.enabled {
+		m.proposeBatch.Observe(m.node, time.Duration(n))
+	}
+}
+
+func (m *nodeMetrics) onAppendSend(entries, inflight int) {
+	if m.enabled {
+		m.appendEntries.Observe(m.node, time.Duration(entries))
+		m.inflightDepth.Observe(m.node, time.Duration(inflight))
+	}
+}
+
+func (m *nodeMetrics) onStorageFlush(records int) {
+	if m.enabled {
+		m.storageFlush.Inc(m.node)
+		m.storageRecs.Add(m.node, int64(records))
 	}
 }
 

@@ -67,6 +67,21 @@ type Config struct {
 	// the mode the VAC decomposition runs in, where the reconciliator —
 	// not the node — owns the timer's consequence.
 	ManualCampaign bool
+	// MaxEntriesPerAppend caps how many log entries one AppendEntries
+	// message carries. Replication to a lagging follower proceeds in
+	// pipelined windows of this size instead of re-sending the whole
+	// suffix. Default 64; negative means unlimited (the pre-pipelining
+	// behaviour).
+	MaxEntriesPerAppend int
+	// MaxInflightAppends caps how many unacknowledged entry-carrying
+	// AppendEntries may be outstanding per follower — the pipeline
+	// window. Once full, new entries wait for acks (or for the heartbeat
+	// stall-recovery rewind). Default 4; minimum 1.
+	MaxInflightAppends int
+	// MaxProposalBatch caps how many queued Propose calls the leader
+	// coalesces into a single log append, one storage flush, and one
+	// broadcast per main-loop iteration. Default 64; minimum 1.
+	MaxProposalBatch int
 	// Recorder, if non-nil, receives trace events.
 	Recorder *trace.Recorder
 	// Metrics, if non-nil, receives counters, gauges, and latency
@@ -93,6 +108,17 @@ func (c *Config) normalize() error {
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = c.ElectionTimeout / 5
 	}
+	if c.MaxEntriesPerAppend == 0 {
+		c.MaxEntriesPerAppend = 64
+	} else if c.MaxEntriesPerAppend < 0 {
+		c.MaxEntriesPerAppend = 0 // sliceLimit treats 0 as unlimited
+	}
+	if c.MaxInflightAppends < 1 {
+		c.MaxInflightAppends = 4
+	}
+	if c.MaxProposalBatch < 1 {
+		c.MaxProposalBatch = 64
+	}
 	return nil
 }
 
@@ -114,6 +140,17 @@ type Node struct {
 
 	fatal error // set on persistence failure; stops the loop
 
+	// Staged side effects of the current main-loop iteration (the
+	// group-commit seam): handlers record durable mutations and outbound
+	// messages here, and flush() applies them in order — all persistence
+	// first (one Storage.AppendBatch, hence one fsync, however many
+	// messages and proposals the iteration coalesced), then the sends and
+	// proposal replies that externalize the persisted state.
+	stateDirty bool
+	pendingLog []LogMutation
+	outbox     []outMsg
+	replies    []stagedReply
+
 	proposeCh  chan proposeReq
 	campaignCh chan any
 	statusCh   chan chan Status
@@ -122,6 +159,16 @@ type Node struct {
 
 	subMu sync.Mutex
 	subs  []*Subscription
+}
+
+type outMsg struct {
+	to      int
+	payload any
+}
+
+type stagedReply struct {
+	ch    chan proposeReply
+	reply proposeReply
 }
 
 type proposeReq struct {
@@ -142,11 +189,13 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	nd := &Node{
-		cfg:        cfg,
-		n:          cfg.Endpoint.N(),
-		met:        newNodeMetrics(cfg.Metrics, cfg.ID),
-		hs:         hardState{votedFor: none, state: Follower, leaderID: none},
-		proposeCh:  make(chan proposeReq),
+		cfg: cfg,
+		n:   cfg.Endpoint.N(),
+		met: newNodeMetrics(cfg.Metrics, cfg.ID),
+		hs:  hardState{votedFor: none, state: Follower, leaderID: none},
+		// Buffered so concurrent proposers queue up and the leader's
+		// drain can coalesce them into one batch.
+		proposeCh:  make(chan proposeReq, cfg.MaxProposalBatch),
 		campaignCh: make(chan any, 1),
 		statusCh:   make(chan chan Status),
 		stopped:    make(chan struct{}),
@@ -178,9 +227,15 @@ func NewNode(cfg Config) (*Node, error) {
 	return nd, nil
 }
 
-// persistSnapshot durably records a compaction snapshot.
+// persistSnapshot durably records a compaction snapshot. Any staged log
+// mutations are flushed first so the record order on disk matches the
+// logical order of mutations.
 func (nd *Node) persistSnapshot(index, term int, data []byte) {
 	if nd.cfg.Storage == nil || nd.fatal != nil {
+		return
+	}
+	nd.flushPersist()
+	if nd.fatal != nil {
 		return
 	}
 	if err := nd.cfg.Storage.SaveSnapshot(index, term, data); err != nil {
@@ -188,35 +243,92 @@ func (nd *Node) persistSnapshot(index, term int, data []byte) {
 	}
 }
 
-// persistState durably records term and vote; on failure the node stops
-// rather than risk violating election safety after a restart.
+// persistState stages term and vote for the iteration's flush; on flush
+// failure the node stops rather than risk violating election safety
+// after a restart.
 func (nd *Node) persistState() {
-	if nd.cfg.Storage == nil || nd.fatal != nil {
-		return
-	}
-	if err := nd.cfg.Storage.SetState(nd.hs.currentTerm, nd.hs.votedFor); err != nil {
-		nd.fatal = err
+	if nd.cfg.Storage != nil {
+		nd.stateDirty = true
 	}
 }
 
-// persistLog durably records a log mutation (same semantics as
-// Storage.TruncateAndAppend).
+// persistLog stages a log mutation (Storage.TruncateAndAppend semantics)
+// for the iteration's flush.
 func (nd *Node) persistLog(prevIndex int, entries []Entry) {
-	if nd.cfg.Storage == nil || nd.fatal != nil {
+	if nd.cfg.Storage == nil {
 		return
 	}
-	if err := nd.cfg.Storage.TruncateAndAppend(prevIndex, entries); err != nil {
-		nd.fatal = err
+	nd.pendingLog = append(nd.pendingLog, LogMutation{PrevIndex: prevIndex, Entries: entries})
+}
+
+// flushPersist applies the staged durable mutations: term/vote first
+// (scalar, last-write-wins on replay), then the log mutations as one
+// group-committed batch — a single fsync on FileStorage regardless of
+// how many messages and proposals this iteration coalesced.
+func (nd *Node) flushPersist() {
+	if nd.cfg.Storage == nil || nd.fatal != nil {
+		nd.stateDirty = false
+		nd.pendingLog = nd.pendingLog[:0]
+		return
 	}
+	if nd.stateDirty {
+		nd.stateDirty = false
+		if err := nd.cfg.Storage.SetState(nd.hs.currentTerm, nd.hs.votedFor); err != nil {
+			nd.fatal = err
+			nd.pendingLog = nd.pendingLog[:0]
+			return
+		}
+	}
+	if len(nd.pendingLog) > 0 {
+		nd.met.onStorageFlush(len(nd.pendingLog))
+		err := nd.cfg.Storage.AppendBatch(nd.pendingLog)
+		nd.pendingLog = nd.pendingLog[:0]
+		if err != nil {
+			nd.fatal = err
+		}
+	}
+}
+
+// flush ends a main-loop iteration: durable state hits storage first,
+// and only then do the staged sends and proposal replies leave the node
+// — the Raft rule that persistence precedes externalization, preserved
+// across batching. A persistence failure drops the outbox (nothing may
+// be externalized over unpersisted state) and stops the node.
+func (nd *Node) flush() {
+	nd.flushPersist()
+	if nd.fatal != nil {
+		nd.outbox = nd.outbox[:0]
+		nd.replies = nd.replies[:0]
+		return
+	}
+	for _, m := range nd.outbox {
+		// Send failures mean we crashed or the network is gone; the
+		// receive pump will notice and stop the loop, so they are safe to
+		// drop here.
+		_ = nd.cfg.Endpoint.Send(m.to, m.payload)
+	}
+	nd.outbox = nd.outbox[:0]
+	for _, r := range nd.replies {
+		r.ch <- r.reply
+	}
+	nd.replies = nd.replies[:0]
 }
 
 // Start launches the node's goroutines. The node runs until ctx is
 // cancelled or its endpoint dies (crash injection / network close).
 func (nd *Node) Start(ctx context.Context) {
-	msgCh := make(chan msgnet.Message)
+	// Buffered so the receive pump can run ahead of the main loop and the
+	// loop's drain can coalesce a burst of messages into one iteration —
+	// one storage flush, one batch of sends.
+	msgCh := make(chan msgnet.Message, 4*maxMessageDrain)
 	go nd.receive(ctx, msgCh)
 	go nd.run(ctx, msgCh)
 }
+
+// maxMessageDrain bounds how many queued messages one main-loop
+// iteration handles before flushing; keeps a flooded node responsive to
+// timers and Status requests.
+const maxMessageDrain = 64
 
 // receive pumps the endpoint into the main loop.
 func (nd *Node) receive(ctx context.Context, msgCh chan<- msgnet.Message) {
@@ -256,7 +368,26 @@ func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
 			if !ok {
 				return // endpoint crashed or network closed
 			}
+			// Coalesce a burst: handle every already-delivered message in
+			// this iteration so their log mutations share one storage
+			// flush and their acks leave in one batch.
 			nd.handleMessage(m)
+			for drained := 1; drained < maxMessageDrain; drained++ {
+				var more bool
+				select {
+				case m, ok = <-msgCh:
+					if !ok {
+						nd.flush()
+						return
+					}
+					nd.handleMessage(m)
+					more = true
+				default:
+				}
+				if !more {
+					break
+				}
+			}
 
 		case <-electionTimer.C():
 			now := clock.Now()
@@ -268,12 +399,12 @@ func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
 		case <-heartbeat.C():
 			if nd.hs.state == Leader {
 				nd.met.onHeartbeat()
-				nd.broadcastAppend()
+				nd.broadcastHeartbeat()
 			}
 			heartbeat.Reset(nd.cfg.HeartbeatInterval)
 
 		case req := <-nd.proposeCh:
-			req.reply <- nd.handlePropose(req.cmd)
+			nd.handleProposeBatch(nd.drainProposals(req))
 
 		case v := <-nd.campaignCh:
 			nd.campaign = v
@@ -282,11 +413,28 @@ func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
 		case ch := <-nd.statusCh:
 			ch <- nd.statusLocked()
 		}
+		nd.flush()
 		if nd.fatal != nil {
 			nd.cfg.Recorder.Note(nd.cfg.ID, "raft: fatal: %v", nd.fatal)
 			return
 		}
 	}
+}
+
+// drainProposals collects the proposals already queued behind first, up
+// to the coalescing cap — the batch handleProposeBatch turns into one
+// append, one flush, one broadcast.
+func (nd *Node) drainProposals(first proposeReq) []proposeReq {
+	reqs := append(make([]proposeReq, 0, 8), first)
+	for len(reqs) < nd.cfg.MaxProposalBatch {
+		select {
+		case r := <-nd.proposeCh:
+			reqs = append(reqs, r)
+		default:
+			return reqs
+		}
+	}
+	return reqs
 }
 
 // timerSleep computes how long the election timer should sleep: until the
@@ -499,10 +647,10 @@ func (nd *Node) handleMessage(m msgnet.Message) {
 	}
 }
 
+// send stages an outbound message; it leaves the node in flush(), after
+// this iteration's durable state has hit storage.
 func (nd *Node) send(to int, payload any) {
-	// Send failures mean we crashed or the network is gone; the receive
-	// pump will notice and stop the loop, so they are safe to drop here.
-	_ = nd.cfg.Endpoint.Send(to, payload)
+	nd.outbox = append(nd.outbox, outMsg{to: to, payload: payload})
 }
 
 func (nd *Node) onRequestVote(from int, m RequestVote) {
@@ -566,7 +714,8 @@ func (nd *Node) onAppendEntries(from int, m AppendEntries) {
 	}
 
 	if !nd.hs.log.matches(m.PrevLogIndex, m.PrevLogTerm) {
-		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false})
+		hint := min(m.PrevLogIndex-1, nd.hs.log.lastIndex())
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false, RejectHint: hint})
 		return
 	}
 	before := nd.hs.log.lastIndex()
@@ -592,22 +741,37 @@ func (nd *Node) onAppendEntriesReply(from int, m AppendEntriesReply) {
 	if nd.hs.state != Leader || m.Term != nd.hs.currentTerm {
 		return
 	}
+	nd.ls.acked[from] = true // any current-term reply proves the pipe is live
 	if m.Success {
+		if nd.ls.inflight[from] > 0 {
+			nd.ls.inflight[from]--
+		}
 		if m.MatchIndex > nd.ls.matchIndex[from] {
 			nd.ls.matchIndex[from] = m.MatchIndex
 		}
-		nd.ls.nextIndex[from] = nd.ls.matchIndex[from] + 1
-		nd.advanceCommit()
-		if nd.ls.nextIndex[from] <= nd.hs.log.lastIndex() {
-			nd.sendAppend(from)
+		// Only raise nextIndex: with pipelined sends in flight, a reply to
+		// an older message must not rewind past entries already sent.
+		if nd.ls.matchIndex[from]+1 > nd.ls.nextIndex[from] {
+			nd.ls.nextIndex[from] = nd.ls.matchIndex[from] + 1
 		}
+		nd.advanceCommit()
+		nd.sendAppend(from) // window slot freed; push more if pending
 		return
 	}
-	// Rejected: walk back one entry and retry with an earlier log, the
-	// paper's "decrement NextIndex[i], resend AppendEntries".
-	if nd.ls.nextIndex[from] > 1 {
-		nd.ls.nextIndex[from]--
+	// Rejected: the follower's log diverges at or below the probe's prev.
+	// Drain the pipeline and rewind. The hint is anchored to the rejected
+	// message, so the rewind makes progress even though sendAppend has
+	// optimistically advanced nextIndex past the probe; without it, the
+	// one-step decrement would only undo the bump and loop forever.
+	nd.ls.inflight[from] = 0
+	next := nd.ls.nextIndex[from] - 1
+	if m.RejectHint+1 < next {
+		next = m.RejectHint + 1
 	}
+	if next < 1 {
+		next = 1
+	}
+	nd.ls.nextIndex[from] = next
 	nd.sendAppend(from)
 }
 
@@ -675,38 +839,105 @@ func (nd *Node) becomeLeader() {
 
 	// The term-opening no-op (§5.4.2): without it, entries inherited from
 	// earlier terms could never commit until a client happened to write.
-	nd.appendLocal(Noop{})
+	// Batched with any manual-campaign value: one persisted mutation.
+	cmds := []any{Noop{}}
 	if nd.campaign != nil {
-		nd.appendLocal(nd.campaign)
+		cmds = append(cmds, nd.campaign)
 		nd.campaign = nil
 	}
+	nd.appendLocalBatch(cmds)
 	nd.advanceCommit()
 	nd.broadcastAppend()
 }
 
-func (nd *Node) handlePropose(cmd any) proposeReply {
+// handleProposeBatch coalesces a drained batch of proposals into one log
+// append, one staged persistence mutation, and one broadcast — the
+// leader's group-commit hot path. Replies are staged so they reach the
+// proposers only after the batch is durable.
+func (nd *Node) handleProposeBatch(reqs []proposeReq) {
 	if nd.hs.state != Leader {
-		return proposeReply{err: ErrNotLeader{LeaderID: nd.hs.leaderID}}
+		rep := proposeReply{err: ErrNotLeader{LeaderID: nd.hs.leaderID}}
+		for _, r := range reqs {
+			nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: rep})
+		}
+		return
 	}
-	idx := nd.appendLocal(cmd)
+	nd.met.onProposeBatch(len(reqs))
+	cmds := make([]any, len(reqs))
+	for i, r := range reqs {
+		cmds[i] = r.cmd
+	}
+	first := nd.appendLocalBatch(cmds)
+	for i, r := range reqs {
+		nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: first + i}})
+	}
 	nd.advanceCommit() // single-node clusters commit immediately
 	nd.broadcastAppend()
-	return proposeReply{index: idx}
 }
 
-// appendLocal appends a command to the leader's own log.
-func (nd *Node) appendLocal(cmd any) int {
-	idx := nd.hs.log.appendEntry(Entry{Term: nd.hs.currentTerm, Command: cmd})
-	nd.met.onAppendLocal(idx)
-	nd.persistLog(idx-1, nd.hs.log.slice(idx))
-	nd.ls.matchIndex[nd.cfg.ID] = idx
-	nd.emit(Event{Kind: EventAppended, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: idx, Command: cmd})
-	return idx
+// appendLocalBatch appends commands to the leader's own log as one
+// persisted mutation and returns the global index of the first.
+func (nd *Node) appendLocalBatch(cmds []any) int {
+	first := nd.hs.log.lastIndex() + 1
+	for _, cmd := range cmds {
+		idx := nd.hs.log.appendEntry(Entry{Term: nd.hs.currentTerm, Command: cmd})
+		nd.met.onAppendLocal(idx)
+	}
+	last := nd.hs.log.lastIndex()
+	nd.persistLog(first-1, nd.hs.log.slice(first))
+	nd.ls.matchIndex[nd.cfg.ID] = last
+	for idx := first; idx <= last; idx++ {
+		e, _ := nd.hs.log.entryAt(idx)
+		nd.emit(Event{Kind: EventAppended, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: idx, Command: e.Command})
+	}
+	return first
 }
 
 // ---- replication & commitment (main loop only) ----
 
+// sendAppend ships the next window of entries to one follower,
+// respecting the pipeline: at most MaxEntriesPerAppend entries per
+// message and at most MaxInflightAppends unacknowledged entry-carrying
+// messages outstanding. The next index advances optimistically; a
+// rejection falls back to probe-and-decrement, and the heartbeat's
+// stall recovery rewinds a pipeline whose acks were lost.
 func (nd *Node) sendAppend(to int) {
+	for nd.ls.inflight[to] < nd.cfg.MaxInflightAppends {
+		next := nd.ls.nextIndex[to]
+		if next < 1 {
+			next = 1
+		}
+		if next <= nd.hs.log.snapIndex {
+			nd.sendSnapshot(to)
+			return
+		}
+		if next > nd.hs.log.lastIndex() {
+			return // fully replicated; heartbeats carry commit updates
+		}
+		prev := next - 1
+		prevTerm, ok := nd.hs.log.termAt(prev)
+		if !ok {
+			prev, prevTerm = 0, 0
+		}
+		entries := nd.hs.log.sliceLimit(next, nd.cfg.MaxEntriesPerAppend)
+		nd.send(to, AppendEntries{
+			Term:         nd.hs.currentTerm,
+			LeaderID:     nd.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  prevTerm,
+			Entries:      entries,
+			LeaderCommit: nd.hs.commitIndex,
+		})
+		nd.ls.inflight[to]++
+		nd.ls.nextIndex[to] = next + len(entries) // optimistic; rolled back on rejection
+		nd.met.onAppendSend(len(entries), nd.ls.inflight[to])
+	}
+}
+
+// sendHeartbeat sends an empty AppendEntries: a keep-alive that also
+// propagates the leader's commit index. It bypasses the inflight window
+// (it carries no entries, so re-sending costs nothing).
+func (nd *Node) sendHeartbeat(to int) {
 	next := nd.ls.nextIndex[to]
 	if next < 1 {
 		next = 1
@@ -725,15 +956,40 @@ func (nd *Node) sendAppend(to int) {
 		LeaderID:     nd.cfg.ID,
 		PrevLogIndex: prev,
 		PrevLogTerm:  prevTerm,
-		Entries:      nd.hs.log.slice(next),
 		LeaderCommit: nd.hs.commitIndex,
 	})
 }
 
+// broadcastAppend pushes pending entries to every follower whose
+// pipeline window is open.
 func (nd *Node) broadcastAppend() {
 	for peer := 0; peer < nd.n; peer++ {
 		if peer != nd.cfg.ID {
 			nd.sendAppend(peer)
+		}
+	}
+}
+
+// broadcastHeartbeat runs the leader's periodic tick: per follower it
+// first recovers a stalled pipeline (sends outstanding but nothing
+// acknowledged since the previous tick — the acks or the appends were
+// lost, so rewind to the last known match and resend), then pushes
+// pending entries, and falls back to an empty keep-alive when the
+// follower is already caught up.
+func (nd *Node) broadcastHeartbeat() {
+	for peer := 0; peer < nd.n; peer++ {
+		if peer == nd.cfg.ID {
+			continue
+		}
+		if nd.ls.inflight[peer] > 0 && !nd.ls.acked[peer] {
+			nd.ls.inflight[peer] = 0
+			nd.ls.nextIndex[peer] = nd.ls.matchIndex[peer] + 1
+		}
+		nd.ls.acked[peer] = false
+		before := len(nd.outbox)
+		nd.sendAppend(peer)
+		if len(nd.outbox) == before {
+			nd.sendHeartbeat(peer)
 		}
 	}
 }

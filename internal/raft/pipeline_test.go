@@ -1,0 +1,132 @@
+package raft
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ooc/internal/netsim"
+	"ooc/internal/sim"
+)
+
+func TestDrainProposalsCoalescesUpToCap(t *testing.T) {
+	nd := &Node{
+		cfg:       Config{MaxProposalBatch: 4},
+		proposeCh: make(chan proposeReq, 8),
+	}
+	for i := 0; i < 6; i++ {
+		nd.proposeCh <- proposeReq{cmd: i}
+	}
+	first := <-nd.proposeCh
+	batch := nd.drainProposals(first)
+	if len(batch) != 4 {
+		t.Fatalf("drained %d proposals, want the cap of 4", len(batch))
+	}
+	for i, r := range batch {
+		if r.cmd != i {
+			t.Fatalf("batch[%d] = %v, want %d (FIFO order)", i, r.cmd, i)
+		}
+	}
+	if left := len(nd.proposeCh); left != 2 {
+		t.Fatalf("%d proposals left queued, want 2", left)
+	}
+	// A lone proposal drains to a batch of one without blocking.
+	nd.proposeCh <- proposeReq{cmd: 6}
+	nd.proposeCh <- proposeReq{cmd: 7}
+	first = <-nd.proposeCh
+	if batch = nd.drainProposals(first); len(batch) != 4 {
+		t.Fatalf("second drain got %d, want the 4 remaining", len(batch))
+	}
+}
+
+// TestReplicationWindowOnTheWire drives a leader against a hand-operated
+// follower endpoint and checks the pipeline invariants as they appear on
+// the wire: no AppendEntries carries more than MaxEntriesPerAppend
+// entries, and never more than MaxInflightAppends entry-carrying messages
+// are outstanding between acknowledgements.
+func TestReplicationWindowOnTheWire(t *testing.T) {
+	const (
+		maxEntries  = 3
+		maxInflight = 2
+		total       = 10 // proposals; the log also holds the term-opening no-op
+	)
+	nw := netsim.New(2, netsim.WithSeed(11), netsim.WithFIFO())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rng := sim.NewRNG(11)
+	node, err := NewNode(Config{
+		ID: 0, Endpoint: nw.Node(0), RNG: rng.Fork(0),
+		ElectionTimeout:     20 * time.Millisecond,
+		HeartbeatInterval:   time.Minute, // keep ticks (and stall rewinds) out of the way
+		MaxEntriesPerAppend: maxEntries,
+		MaxInflightAppends:  maxInflight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start(ctx)
+
+	peer := nw.Node(1)
+	var (
+		log       []Entry
+		unacked   int
+		maxSeen   int
+		proposing bool
+		pendAcks  []AppendEntriesReply
+	)
+	for len(log) < total+1 {
+		m, err := peer.Recv(ctx)
+		if err != nil {
+			t.Fatalf("peer recv (log=%d): %v", len(log), err)
+		}
+		switch p := m.Payload.(type) {
+		case RequestVote:
+			_ = peer.Send(0, RequestVoteReply{Term: p.Term, VoteGranted: true})
+		case AppendEntries:
+			// The first append is the term-opening no-op: leadership is
+			// established, so feed in the client proposals.
+			if !proposing {
+				proposing = true
+				go func() {
+					for i := 0; i < total; i++ {
+						if _, err := node.Propose(ctx, KVCommand{Op: "set", Key: "k", Value: "v"}); err != nil {
+							t.Errorf("propose %d: %v", i, err)
+							return
+						}
+					}
+				}()
+			}
+			if len(p.Entries) == 0 {
+				continue // heartbeat: exempt from the window
+			}
+			if len(p.Entries) > maxEntries {
+				t.Fatalf("AppendEntries carried %d entries, cap is %d", len(p.Entries), maxEntries)
+			}
+			unacked++
+			if unacked > maxSeen {
+				maxSeen = unacked
+			}
+			if unacked > maxInflight {
+				t.Fatalf("%d unacked entry-carrying AppendEntries on the wire, window is %d", unacked, maxInflight)
+			}
+			if p.PrevLogIndex > len(log) {
+				t.Fatalf("pipelined send skipped ahead: prev=%d, follower log=%d", p.PrevLogIndex, len(log))
+			}
+			log = log[:p.PrevLogIndex]
+			log = append(log, p.Entries...)
+			pendAcks = append(pendAcks, AppendEntriesReply{Term: p.Term, Success: true, MatchIndex: len(log)})
+			// Hold acks until the window is full, so the test observes the
+			// leader actually pipelining rather than ping-ponging.
+			if unacked == maxInflight || len(log) >= total+1 {
+				for _, a := range pendAcks {
+					_ = peer.Send(0, a)
+				}
+				pendAcks = nil
+				unacked = 0
+			}
+		}
+	}
+	if maxSeen != maxInflight {
+		t.Fatalf("pipeline depth never reached the window: saw %d, want %d", maxSeen, maxInflight)
+	}
+}

@@ -43,10 +43,16 @@ type hardState struct {
 }
 
 // leaderState holds NextIndex[] and MatchIndex[], valid only while
-// leader and only for the current term.
+// leader and only for the current term, plus the per-peer replication
+// pipeline: inflight counts unacknowledged entry-carrying AppendEntries
+// (bounded by Config.MaxInflightAppends), and acked records whether any
+// success arrived since the last heartbeat tick so a stalled pipeline
+// (lost messages) can be detected and rewound to matchIndex+1.
 type leaderState struct {
 	nextIndex  []int
 	matchIndex []int
+	inflight   []int
+	acked      []bool
 }
 
 // newLeaderState initializes the arrays after winning an election:
@@ -55,6 +61,8 @@ func newLeaderState(n, lastLogIndex int) *leaderState {
 	ls := &leaderState{
 		nextIndex:  make([]int, n),
 		matchIndex: make([]int, n),
+		inflight:   make([]int, n),
+		acked:      make([]bool, n),
 	}
 	for i := range ls.nextIndex {
 		ls.nextIndex[i] = lastLogIndex + 1
