@@ -533,3 +533,31 @@ func BenchmarkE14RaftThroughput(b *testing.B) {
 		b.ReportMetric(res.FsyncsPerOp, "fsyncs/op")
 	}
 }
+
+func BenchmarkE15ReadFastPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunRaftThroughput(bench.ThroughputConfig{
+			Nodes:         3,
+			Clients:       8,
+			Duration:      200 * time.Millisecond,
+			Seed:          uint64(i) + 1,
+			FileStorage:   true,
+			ReadRatio:     0.9,
+			ReadMode:      raft.ReadLease,
+			LeaseDuration: 15 * time.Millisecond,
+			Keys:          256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ops == 0 {
+			b.Fatal("no ops completed")
+		}
+		if res.Reads > 0 && res.LeaseReads+res.IndexReads == 0 {
+			b.Fatal("reads completed but none were served by the fast path")
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/sec")
+		b.ReportMetric(res.ReadP50.Seconds()*1e3, "read-p50-ms")
+	}
+}

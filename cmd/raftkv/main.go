@@ -47,9 +47,18 @@ func main() {
 		duration  = flag.Duration("duration", time.Second, "bench mode: measurement window")
 		diskStore = flag.Bool("disk", true, "bench mode: persist through FileStorage (fsync path); false = MemStorage")
 		seed      = flag.Uint64("seed", 1, "bench mode: simulation seed")
+		readCons  = flag.String("read-consistency", "linearizable", "how get serves reads: linearizable | lease | stale (bench mode also accepts log)")
+		lease     = flag.Duration("lease", 0, "leader lease duration (0 disables; reads with -read-consistency lease skip the quorum round while it holds)")
+		readRatio = flag.Float64("read-ratio", 0, "bench mode: fraction of ops that are reads (0 = write-only E14 loop)")
 	)
 	flag.Parse()
 	transport.Register(raft.WireTypes()...)
+
+	readMode, err := raft.ParseReadConsistency(*readCons)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)
+		os.Exit(1)
+	}
 
 	var reg *metrics.Registry
 	if *telemetry != "" {
@@ -63,14 +72,13 @@ func main() {
 		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
 	}
 
-	var err error
 	switch {
 	case *benchMode:
-		err = runBench(*n, *clients, *duration, *diskStore, *seed, reg)
+		err = runBench(*n, *clients, *duration, *diskStore, *seed, *readRatio, readMode, *lease, reg)
 	case *demo:
-		err = runDemo(*n, reg)
+		err = runDemo(*n, *lease, reg)
 	default:
-		err = runServer(*id, strings.Split(*peers, ","), reg)
+		err = runServer(*id, strings.Split(*peers, ","), readMode, *lease, reg)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)
@@ -78,22 +86,30 @@ func main() {
 	}
 }
 
-// runBench runs the closed-loop throughput benchmark (experiment E14's
-// engine) and prints a one-screen report.
-func runBench(n, clients int, duration time.Duration, disk bool, seed uint64, reg *metrics.Registry) error {
+// runBench runs the closed-loop throughput benchmark (the engine behind
+// experiments E14 and E15) and prints a one-screen report.
+func runBench(n, clients int, duration time.Duration, disk bool, seed uint64,
+	readRatio float64, readMode raft.ReadConsistency, lease time.Duration, reg *metrics.Registry) error {
 	kind := "mem"
 	if disk {
 		kind = "file (group-commit fsync)"
 	}
-	fmt.Printf("raftkv bench: %d nodes, %d closed-loop clients, %v window, storage=%s\n",
-		n, clients, duration, kind)
+	mix := "write-only"
+	if readRatio > 0 {
+		mix = fmt.Sprintf("%.0f%% %v reads", readRatio*100, readMode)
+	}
+	fmt.Printf("raftkv bench: %d nodes, %d closed-loop clients, %v window, storage=%s, %s\n",
+		n, clients, duration, kind, mix)
 	res, err := bench.RunRaftThroughput(bench.ThroughputConfig{
-		Nodes:       n,
-		Clients:     clients,
-		Duration:    duration,
-		Seed:        seed,
-		FileStorage: disk,
-		Metrics:     reg,
+		Nodes:         n,
+		Clients:       clients,
+		Duration:      duration,
+		Seed:          seed,
+		FileStorage:   disk,
+		Metrics:       reg,
+		ReadRatio:     readRatio,
+		ReadMode:      readMode,
+		LeaseDuration: lease,
 	})
 	if err != nil {
 		return err
@@ -106,10 +122,17 @@ func runBench(n, clients int, duration time.Duration, disk bool, seed uint64, re
 		fmt.Printf("  fsyncs          %d (%.3f per op)\n", res.Fsyncs, res.FsyncsPerOp)
 	}
 	fmt.Printf("  allocs per op   %.1f (process-wide)\n", res.AllocsPerOp)
+	if readRatio > 0 {
+		fmt.Printf("  reads/writes    %d / %d\n", res.Reads, res.Writes)
+		fmt.Printf("  read p50/p99    %v / %v\n",
+			res.ReadP50.Round(10*time.Microsecond), res.ReadP99.Round(10*time.Microsecond))
+		fmt.Printf("  served by       lease=%d readindex=%d stale=%d forwarded=%d\n",
+			res.LeaseReads, res.IndexReads, res.StaleReads, res.ForwardedReads)
+	}
 	return nil
 }
 
-func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, reg *metrics.Registry) (*raft.Node, error) {
+func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, lease time.Duration, reg *metrics.Registry) (*raft.Node, error) {
 	return raft.NewNode(raft.Config{
 		ID:                id,
 		Endpoint:          ep,
@@ -118,10 +141,11 @@ func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, r
 		HeartbeatInterval: 30 * time.Millisecond,
 		StateMachine:      kv,
 		Metrics:           reg,
+		LeaseDuration:     lease,
 	})
 }
 
-func runDemo(n int, reg *metrics.Registry) error {
+func runDemo(n int, lease time.Duration, reg *metrics.Registry) error {
 	fmt.Printf("starting %d-node raft kv cluster on loopback TCP...\n", n)
 	eps, err := transport.NewLocalCluster(n)
 	if err != nil {
@@ -139,7 +163,7 @@ func runDemo(n int, reg *metrics.Registry) error {
 	nodes := make([]*raft.Node, n)
 	for id := 0; id < n; id++ {
 		kvs[id] = &raft.KVStore{}
-		node, err := startNode(id, eps[id], kvs[id], 42, reg)
+		node, err := startNode(id, eps[id], kvs[id], 42, lease, reg)
 		if err != nil {
 			return err
 		}
@@ -166,6 +190,16 @@ func runDemo(n int, reg *metrics.Registry) error {
 		return err
 	}
 	fmt.Printf("replicated %d entries to all nodes; node %d sees %v\n", lastIdx, n-1, kvs[n-1].Snapshot())
+
+	// A linearizable read through the fast path: no log append, no fsync —
+	// one piggybacked heartbeat round confirms leadership, then the value
+	// is served from the leader's local state machine.
+	if _, err := nodes[leader].ReadIndex(ctx); err != nil {
+		return fmt.Errorf("read index: %w", err)
+	}
+	if v, ok := kvs[leader].Get("key0"); ok {
+		fmt.Printf("linearizable read (ReadIndex fast path): key0=%s\n", v)
+	}
 
 	fmt.Printf("crashing leader node %d...\n", leader)
 	_ = eps[leader].Close()
@@ -225,9 +259,12 @@ func awaitApplied(ctx context.Context, kvs []*raft.KVStore, index int, dead map[
 	}
 }
 
-func runServer(id int, peers []string, reg *metrics.Registry) error {
+func runServer(id int, peers []string, readMode raft.ReadConsistency, lease time.Duration, reg *metrics.Registry) error {
 	if len(peers) < 1 || peers[0] == "" {
 		return fmt.Errorf("-peers is required in server mode (or use -demo)")
+	}
+	if readMode == raft.ReadLogCommand {
+		return fmt.Errorf("-read-consistency log is a benchmark baseline; server mode serves linearizable, lease, or stale")
 	}
 	ep, err := transport.Listen(id, peers)
 	if err != nil {
@@ -238,12 +275,13 @@ func runServer(id int, peers []string, reg *metrics.Registry) error {
 	defer cancel()
 
 	kv := &raft.KVStore{}
-	node, err := startNode(id, ep, kv, uint64(time.Now().UnixNano()), reg)
+	node, err := startNode(id, ep, kv, uint64(time.Now().UnixNano()), lease, reg)
 	if err != nil {
 		return err
 	}
 	node.Start(ctx)
-	fmt.Printf("node %d serving on %s; commands: set k v | del k | get k | status | quit\n", id, ep.Addr())
+	fmt.Printf("node %d serving on %s; commands: set k v | del k | get k | status | quit (reads: %v)\n",
+		id, ep.Addr(), readMode)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -273,6 +311,18 @@ func runServer(id int, peers []string, reg *metrics.Registry) error {
 		case "get":
 			if len(fields) < 2 {
 				fmt.Println("usage: get k")
+				continue
+			}
+			// Fix the read point first: ReadIndexMode returns only after
+			// this node has applied through a confirmed read index (a
+			// follower forwards to the leader and waits to catch up), so
+			// the local Get below is linearizable. Stale mode skips the
+			// coordination and reads whatever is applied locally.
+			rctx, rcancel := context.WithTimeout(ctx, 5*time.Second)
+			_, rerr := node.ReadIndexMode(rctx, readMode)
+			rcancel()
+			if rerr != nil {
+				fmt.Printf("error: %v\n", rerr)
 				continue
 			}
 			if v, ok := kv.Get(fields[1]); ok {

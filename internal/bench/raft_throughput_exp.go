@@ -15,6 +15,7 @@ import (
 	"ooc/internal/raft"
 	"ooc/internal/sim"
 	"ooc/internal/transport"
+	"ooc/internal/workload"
 )
 
 // FileStorage gob-encodes log entries, so the commands the harness
@@ -44,6 +45,16 @@ type ThroughputConfig struct {
 	MaxEntriesPerAppend int
 	MaxInflightAppends  int
 	MaxProposalBatch    int
+	// Read-mix knobs (E15). ReadRatio > 0 turns each client into a mixed
+	// closed loop drawing from a workload.KVMix; ReadMode selects the
+	// serving path (raft.ReadLogCommand is the reads-as-log-commands
+	// baseline); LeaseDuration > 0 enables leader leases cluster-wide;
+	// Keys and Zipfian shape the key distribution.
+	ReadRatio     float64
+	ReadMode      raft.ReadConsistency
+	LeaseDuration time.Duration
+	Keys          int
+	Zipfian       bool
 }
 
 // ThroughputResult is one run's outcome.
@@ -55,6 +66,14 @@ type ThroughputResult struct {
 	Fsyncs      int64   // total fsyncs across the cluster (file storage only)
 	FsyncsPerOp float64 // Fsyncs / Ops
 	AllocsPerOp float64 // process-wide heap allocations per op (approximate)
+
+	// Mixed-workload breakdown (zero unless ReadRatio > 0).
+	Reads   int
+	Writes  int
+	ReadP50 time.Duration // client-observed read latency
+	ReadP99 time.Duration
+	// Per-path serving counts summed over the cluster (raft.ReadStats).
+	LeaseReads, IndexReads, StaleReads, ForwardedReads int64
 }
 
 // RunRaftThroughput runs one closed-loop throughput trial. It is the
@@ -114,6 +133,7 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
 			MaxInflightAppends:  cfg.MaxInflightAppends,
 			MaxProposalBatch:    cfg.MaxProposalBatch,
+			LeaseDuration:       cfg.LeaseDuration,
 		})
 		if err != nil {
 			return ThroughputResult{}, err
@@ -146,6 +166,8 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 
 	runCtx, runCancel := context.WithCancel(ctx)
 	lat := make([][]time.Duration, cfg.Clients)
+	rlat := make([][]time.Duration, cfg.Clients)
+	writes := make([]int, cfg.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	timer := time.AfterFunc(cfg.Duration, runCancel)
@@ -153,15 +175,51 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			for op := 0; ; op++ {
+			if cfg.ReadRatio <= 0 {
+				for op := 0; ; op++ {
+					t0 := time.Now()
+					_, err := client.SubmitWait(runCtx, raft.KVCommand{
+						Op: "set", Key: fmt.Sprintf("c%d", c), Value: fmt.Sprintf("%d", op),
+					})
+					if err != nil {
+						return // deadline hit (or cluster stopped): window over
+					}
+					lat[c] = append(lat[c], time.Since(t0))
+				}
+			}
+			// Mixed closed loop: each client draws from its own
+			// deterministic stream; keyspaces are disjoint per client so
+			// the write discipline stays single-writer-per-key.
+			dist := workload.KeysUniform
+			if cfg.Zipfian {
+				dist = workload.KeysZipfian
+			}
+			mix, err := workload.NewKVMix(workload.KVMixConfig{
+				ReadRatio: cfg.ReadRatio, Keys: cfg.Keys, Dist: dist,
+			}, rng.Stream('m', uint64(c)))
+			if err != nil {
+				return
+			}
+			prefix := fmt.Sprintf("c%d/", c)
+			for {
+				op := mix.Next()
 				t0 := time.Now()
-				_, err := client.SubmitWait(runCtx, raft.KVCommand{
-					Op: "set", Key: fmt.Sprintf("c%d", c), Value: fmt.Sprintf("%d", op),
-				})
-				if err != nil {
-					return // deadline hit (or cluster stopped): window over
+				if op.Read {
+					if _, _, err := client.ReadWith(runCtx, prefix+op.Key, cfg.ReadMode); err != nil {
+						return
+					}
+					d := time.Since(t0)
+					lat[c] = append(lat[c], d)
+					rlat[c] = append(rlat[c], d)
+					continue
+				}
+				if _, err := client.SubmitWait(runCtx, raft.KVCommand{
+					Op: "set", Key: prefix + op.Key, Value: op.Value,
+				}); err != nil {
+					return
 				}
 				lat[c] = append(lat[c], time.Since(t0))
+				writes[c]++
 			}
 		}(c)
 	}
@@ -185,6 +243,28 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		res.P50 = all[len(all)/2]
 		res.P99 = all[len(all)*99/100]
 		res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Ops)
+	}
+	if cfg.ReadRatio > 0 {
+		reads := make([]time.Duration, 0, 1024)
+		for _, ls := range rlat {
+			reads = append(reads, ls...)
+		}
+		res.Reads = len(reads)
+		for _, w := range writes {
+			res.Writes += w
+		}
+		if len(reads) > 0 {
+			sort.Slice(reads, func(i, j int) bool { return reads[i] < reads[j] })
+			res.ReadP50 = reads[len(reads)/2]
+			res.ReadP99 = reads[len(reads)*99/100]
+		}
+		for _, nd := range nodes {
+			lease, index, stale, fwd := nd.ReadStats()
+			res.LeaseReads += lease
+			res.IndexReads += index
+			res.StaleReads += stale
+			res.ForwardedReads += fwd
+		}
 	}
 	for _, fs := range files {
 		res.Fsyncs += fs.Syncs()
@@ -255,5 +335,85 @@ func RunE14(s Suite) (Table, error) {
 		"closed loop: each client submits, waits for commit+apply, then submits again — ops/sec counts applied writes",
 		"fsyncs_per_op < 1 on file rows is group commit working: one durability barrier covers many coalesced proposals",
 		"allocs_per_op is process-wide Mallocs delta / ops, an approximation shared across nodes and clients")
+	return tbl, nil
+}
+
+// e15Modes are the read paths E15 compares, baseline first.
+var e15Modes = []raft.ReadConsistency{
+	raft.ReadLogCommand, raft.ReadLinearizable, raft.ReadLease, raft.ReadStale,
+}
+
+// RunE15 measures the linearizable read fast path end to end: a 90/10
+// read/write closed loop on file storage, swept over the serving mode.
+// The log-command row is the pre-fast-path baseline (every read is a
+// replicated no-mutation command, paying the fsync); the ReadIndex row
+// replaces that with one piggybacked heartbeat round per coalesced
+// batch; the lease row removes even that round while the lease holds;
+// the stale row is the uncoordinated floor.
+func RunE15(s Suite) (Table, error) {
+	tbl := Table{
+		ID:    "E15",
+		Title: "Raft linearizable reads: log-command baseline vs ReadIndex vs lease vs stale (90/10 mix, file storage)",
+		Columns: []string{"mode", "clients", "trials", "ops", "ops_per_sec",
+			"read_p50_ms", "read_p99_ms", "write_p99_ms", "fsyncs_per_op",
+			"lease_reads", "index_reads", "stale_reads", "forwarded"},
+	}
+	clients := 8
+	duration := 500 * time.Millisecond
+	trials := s.Trials
+	if trials > 3 {
+		trials = 3 // wall-clock bound, like E14
+	}
+	if s.Quick {
+		duration = 200 * time.Millisecond
+		trials = 1
+	}
+	for _, mode := range e15Modes {
+		reg := s.cellRegistry()
+		var opsPerSec, rp50, rp99, wp99, fsyncsPerOp stats
+		ops := 0
+		var lease, index, stale, fwd int64
+		for trial := 0; trial < trials; trial++ {
+			cfg := ThroughputConfig{
+				Nodes:       3,
+				Clients:     clients,
+				Duration:    duration,
+				Seed:        s.BaseSeed + uint64(int(mode)*10+trial),
+				FileStorage: true,
+				Metrics:     reg,
+				ReadRatio:   0.9,
+				ReadMode:    mode,
+				Keys:        256,
+			}
+			if mode == raft.ReadLease {
+				cfg.LeaseDuration = benchElection / 2
+			}
+			res, err := RunRaftThroughput(cfg)
+			if err != nil {
+				return tbl, fmt.Errorf("E15 %v: %w", mode, err)
+			}
+			ops += res.Ops
+			opsPerSec.add(res.OpsPerSec)
+			rp50.add(res.ReadP50.Seconds() * 1000)
+			rp99.add(res.ReadP99.Seconds() * 1000)
+			wp99.add(res.P99.Seconds() * 1000)
+			fsyncsPerOp.add(res.FsyncsPerOp)
+			lease += res.LeaseReads
+			index += res.IndexReads
+			stale += res.StaleReads
+			fwd += res.ForwardedReads
+		}
+		tbl.AddRow(mode.String(), clients, trials, ops, opsPerSec.mean(),
+			rp50.mean(), rp99.mean(), wp99.mean(), fsyncsPerOp.mean(),
+			lease, index, stale, fwd)
+		if s.CollectMetrics {
+			tbl.attachMetrics(fmt.Sprintf("mode=%v", mode), reg.Snapshot())
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"90/10 read/write closed loop, 3 nodes, file storage — ops/sec counts completed client ops of both kinds",
+		"log rows append every read to the log (fsyncs_per_op near 1); readindex rows serve reads without touching storage",
+		"lease rows skip the confirmation round while the lease holds: read_p50 drops below the readindex row's",
+		"the per-path columns come from raft.ReadStats and attribute each read to the mechanism that served it")
 	return tbl, nil
 }

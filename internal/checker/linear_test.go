@@ -1,0 +1,77 @@
+package checker
+
+import "testing"
+
+func TestRegisterLinearizableOk(t *testing.T) {
+	// w1 [0,10], w2 [20,30]; reads in every legal window.
+	h := []RWOp{
+		{Key: "a", Version: 1, Invoke: 0, Return: 10},
+		{Key: "a", Version: 2, Invoke: 20, Return: 30},
+		{Read: true, Key: "a", Version: 0, Invoke: 1, Return: 2},   // concurrent with w1: either value
+		{Read: true, Key: "a", Version: 1, Invoke: 11, Return: 12}, // after w1
+		{Read: true, Key: "a", Version: 2, Invoke: 25, Return: 26}, // concurrent with w2
+		{Read: true, Key: "a", Version: 1, Invoke: 22, Return: 28}, // concurrent with w2: old value fine
+		{Read: true, Key: "a", Version: 2, Invoke: 31, Return: 35}, // after w2
+		{Read: true, Key: "b", Version: 0, Invoke: 0, Return: 100}, // never-written key
+	}
+	if rep := CheckRegisterLinearizable(h); !rep.Ok() {
+		t.Fatalf("clean history flagged: %v", rep.Violations)
+	}
+}
+
+func TestRegisterLinearizableStaleRead(t *testing.T) {
+	// v2's write completed at 30; a read invoked at 40 must not see v1 —
+	// exactly what a deposed leader serving from an expired lease does.
+	h := []RWOp{
+		{Key: "a", Version: 1, Invoke: 0, Return: 10},
+		{Key: "a", Version: 2, Invoke: 20, Return: 30},
+		{Read: true, Key: "a", Version: 1, Invoke: 40, Return: 45},
+	}
+	rep := CheckRegisterLinearizable(h)
+	if rep.Ok() {
+		t.Fatal("stale read not detected")
+	}
+	if rep.Violations[0].Property != "linearizability" {
+		t.Fatalf("wrong property: %v", rep.Violations[0])
+	}
+}
+
+func TestRegisterLinearizableFutureRead(t *testing.T) {
+	// The read returned at 5, before v2 was even invoked at 20.
+	h := []RWOp{
+		{Key: "a", Version: 1, Invoke: 0, Return: 2},
+		{Key: "a", Version: 2, Invoke: 20, Return: 30},
+		{Read: true, Key: "a", Version: 2, Invoke: 3, Return: 5},
+	}
+	if rep := CheckRegisterLinearizable(h); rep.Ok() {
+		t.Fatal("future read not detected")
+	}
+}
+
+func TestRegisterLinearizableUnwrittenVersion(t *testing.T) {
+	h := []RWOp{
+		{Key: "a", Version: 1, Invoke: 0, Return: 2},
+		{Read: true, Key: "a", Version: 7, Invoke: 3, Return: 5},
+	}
+	if rep := CheckRegisterLinearizable(h); rep.Ok() {
+		t.Fatal("phantom version not detected")
+	}
+}
+
+func TestRegisterLinearizableBrokenHistory(t *testing.T) {
+	overlap := []RWOp{
+		{Key: "a", Version: 1, Invoke: 0, Return: 10},
+		{Key: "a", Version: 2, Invoke: 5, Return: 15},
+	}
+	rep := CheckRegisterLinearizable(overlap)
+	if rep.Ok() || rep.Violations[0].Property != "history" {
+		t.Fatalf("overlapping writes not reported as a history violation: %v", rep.Violations)
+	}
+	reversed := []RWOp{
+		{Key: "a", Version: 2, Invoke: 0, Return: 10},
+		{Key: "a", Version: 1, Invoke: 20, Return: 30},
+	}
+	if rep := CheckRegisterLinearizable(reversed); rep.Ok() {
+		t.Fatal("non-monotonic versions not detected")
+	}
+}

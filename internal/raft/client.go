@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ooc/internal/sim"
@@ -23,6 +24,9 @@ type Client struct {
 	backoff    time.Duration // base retry pause; doubles per attempt
 	backoffMax time.Duration // exponential growth cap
 	rng        *sim.RNG      // jitter source; deterministic under a fixed seed
+	readMode   ReadConsistency
+	leader     atomic.Int32 // last node that served a read, or redirect hint; -1 unknown
+	rr         atomic.Int64 // round-robin cursor for stale reads
 }
 
 // ClientOption configures a Client.
@@ -52,6 +56,12 @@ func WithClientRNG(rng *sim.RNG) ClientOption {
 	return func(c *Client) { c.rng = rng }
 }
 
+// WithReadConsistency sets the default mode Client.Read uses (the zero
+// default is ReadLinearizable).
+func WithReadConsistency(rc ReadConsistency) ClientOption {
+	return func(c *Client) { c.readMode = rc }
+}
+
 // NewClient builds a client over the contactable nodes.
 func NewClient(nodes []*Node, opts ...ClientOption) (*Client, error) {
 	if len(nodes) == 0 {
@@ -71,6 +81,7 @@ func NewClient(nodes []*Node, opts ...ClientOption) (*Client, error) {
 	if c.rng == nil {
 		c.rng = sim.NewRNG(0x0c11e47ba7c0ffee)
 	}
+	c.leader.Store(-1)
 	return c, nil
 }
 
@@ -153,6 +164,134 @@ func (c *Client) SubmitWait(ctx context.Context, cmd any) (index int, err error)
 		}
 		// The entry was lost to a leadership change; resubmit.
 	}
+}
+
+// KVGetter is the read surface Client.Read needs from a node's state
+// machine. KVStore implements it; any state machine with point lookups
+// can.
+type KVGetter interface {
+	Get(key string) (string, bool)
+}
+
+// Read looks up key with the client's default read consistency (set via
+// WithReadConsistency; ReadLinearizable unless configured otherwise).
+func (c *Client) Read(ctx context.Context, key string) (value string, found bool, err error) {
+	return c.ReadWith(ctx, key, c.readMode)
+}
+
+// ReadWith looks up key with an explicit consistency mode.
+//
+//   - ReadLinearizable and ReadLease go through the node's read fast path
+//     (Node.ReadIndexMode): the contacted node returns only after its
+//     state machine has applied through a confirmed read index, so the
+//     local Get that follows is linearizable. The client prefers the
+//     cluster's current leader — follower forwarding works but adds a
+//     relay hop — and follows redirects like Submit does.
+//   - ReadStale reads any node's state machine with no coordination.
+//   - ReadLogCommand replicates the read through the log like a write
+//     (the pre-fast-path baseline): a no-mutation command is submitted,
+//     committed, and applied, and the value is then read from the
+//     accepting node.
+func (c *Client) ReadWith(ctx context.Context, key string, mode ReadConsistency) (value string, found bool, err error) {
+	switch mode {
+	case ReadStale:
+		return c.readStale(ctx, key)
+	case ReadLogCommand:
+		return c.readLogCommand(ctx, key)
+	}
+	probe := 0
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return "", false, fmt.Errorf("raft: client: %w", err)
+		}
+		id := c.readTarget(&probe)
+		_, rerr := c.nodes[id].ReadIndexMode(ctx, mode)
+		if rerr == nil {
+			c.leader.Store(int32(id))
+			return c.get(id, key)
+		}
+		var nl ErrNotLeader
+		switch {
+		case errors.As(rerr, &nl):
+			if nl.LeaderID != id {
+				c.leader.Store(int32(nl.LeaderID)) // may be -1: falls back to probing
+			} else {
+				c.leader.Store(-1)
+			}
+		case errors.Is(rerr, ErrStopped):
+			c.leader.Store(-1) // that node is gone; probe the others
+		default:
+			return "", false, fmt.Errorf("raft: client read: %w", rerr)
+		}
+		c.clock.Sleep(c.nextBackoff(attempt))
+	}
+}
+
+// readTarget picks the node to send a coordinated read to: the sticky
+// leader hint when one is known, else a scan for a node that believes it
+// is leader, else round-robin probing.
+func (c *Client) readTarget(probe *int) int {
+	if id := int(c.leader.Load()); id >= 0 && id < len(c.nodes) {
+		return id
+	}
+	for i, nd := range c.nodes {
+		if nd.Status().State == Leader {
+			c.leader.Store(int32(i))
+			return i
+		}
+	}
+	id := *probe % len(c.nodes)
+	*probe++
+	return id
+}
+
+// readStale serves an uncoordinated read from the next node in rotation,
+// skipping stopped nodes.
+func (c *Client) readStale(ctx context.Context, key string) (string, bool, error) {
+	for tries := 0; tries < len(c.nodes); tries++ {
+		id := int(c.rr.Add(1)-1) % len(c.nodes)
+		if _, err := c.nodes[id].ReadIndexMode(ctx, ReadStale); err != nil {
+			if errors.Is(err, ErrStopped) {
+				continue
+			}
+			return "", false, fmt.Errorf("raft: client read: %w", err)
+		}
+		return c.get(id, key)
+	}
+	return "", false, errors.New("raft: client read: no live nodes")
+}
+
+// readLogCommand is the reads-as-log-commands baseline: replicate a
+// no-mutation command, wait for it to commit and apply on the accepting
+// node, then read that node's state machine. The applied index at read
+// time is ≥ the command's own index, which is after the read's
+// invocation — linearizable, at full write-path cost (log append, fsync,
+// quorum replication).
+func (c *Client) readLogCommand(ctx context.Context, key string) (string, bool, error) {
+	for {
+		idx, id, err := c.Submit(ctx, KVCommand{Op: "get", Key: key})
+		if err != nil {
+			return "", false, err
+		}
+		applied, err := c.waitApplied(ctx, id, idx)
+		if err != nil {
+			return "", false, err
+		}
+		if applied {
+			return c.get(id, key)
+		}
+		// Lost to a leadership change; resubmit like SubmitWait does.
+	}
+}
+
+// get reads key from node id's state machine.
+func (c *Client) get(id int, key string) (string, bool, error) {
+	g, ok := c.nodes[id].StateMachine().(KVGetter)
+	if !ok {
+		return "", false, fmt.Errorf("raft: client read: node %d state machine is not a KVGetter", id)
+	}
+	v, found := g.Get(key)
+	return v, found, nil
 }
 
 // waitApplied polls node id until lastApplied covers index (true), or the

@@ -235,15 +235,17 @@ func TestKVStore(t *testing.T) {
 
 func TestStringers(t *testing.T) {
 	checks := map[string]string{
-		RequestVote{Term: 1, CandidateID: 2}.String():       "RequestVote{t=1 cand=2 lastIdx=0 lastTerm=0}",
-		RequestVoteReply{Term: 1}.String():                  "RequestVoteReply{t=1 granted=false}",
-		AppendEntriesReply{Term: 2, Success: true}.String(): "AppendEntriesReply{t=2 ok=true match=0 hint=0}",
-		DS{Value: 5}.String():                               "D&S(5)",
-		Follower.String():                                   "follower",
-		Leader.String():                                     "leader",
-		State(9).String():                                   "State(9)",
-		EventTimeout.String():                               "timeout",
-		EventKind(42).String():                              "EventKind(42)",
+		RequestVote{Term: 1, CandidateID: 2}.String():                    "RequestVote{t=1 cand=2 lastIdx=0 lastTerm=0}",
+		RequestVoteReply{Term: 1}.String():                               "RequestVoteReply{t=1 granted=false}",
+		AppendEntriesReply{Term: 2, Success: true}.String():              "AppendEntriesReply{t=2 ok=true match=0 hint=0 read=0}",
+		ReadIndexRequest{Term: 3, ID: 7}.String():                        "ReadIndexRequest{t=3 id=7 lease=false}",
+		ReadIndexReply{Term: 3, ID: 7, Index: 4, Success: true}.String(): "ReadIndexReply{t=3 id=7 idx=4 ok=true lease=false}",
+		DS{Value: 5}.String():                                            "D&S(5)",
+		Follower.String():                                                "follower",
+		Leader.String():                                                  "leader",
+		State(9).String():                                                "State(9)",
+		EventTimeout.String():                                            "timeout",
+		EventKind(42).String():                                           "EventKind(42)",
 	}
 	for got, want := range checks {
 		if got != want {
@@ -256,7 +258,7 @@ func TestStringers(t *testing.T) {
 	if got := (Event{Kind: EventApplied, Node: 1}).String(); got == "" {
 		t.Error("Event.String() empty")
 	}
-	if len(WireTypes()) != 11 {
+	if len(WireTypes()) != 13 {
 		t.Errorf("WireTypes() has %d entries", len(WireTypes()))
 	}
 }

@@ -92,6 +92,13 @@ func (m RequestVoteReply) String() string {
 // update when Entries is empty) from the leader. The paper distinguishes
 // two kinds: the first appends tentative entries, the second only raises
 // the commit index; both are this one type, exactly as in Raft.
+//
+// ReadID piggybacks the linearizable-read fast path (Raft §6.4) on the
+// existing replication traffic: it is the leader's latest read-round id,
+// echoed back in every same-term reply. A quorum of echoes ≥ id proves
+// the sender was still leader after round id began, which confirms every
+// pending ReadIndex batch with a smaller or equal id — no log append and
+// no fsync per read.
 type AppendEntries struct {
 	Term         int
 	LeaderID     int
@@ -99,12 +106,13 @@ type AppendEntries struct {
 	PrevLogTerm  int
 	Entries      []Entry
 	LeaderCommit int
+	ReadID       int
 }
 
 // String implements fmt.Stringer.
 func (m AppendEntries) String() string {
-	return fmt.Sprintf("AppendEntries{t=%d leader=%d prev=%d/%d entries=%d commit=%d}",
-		m.Term, m.LeaderID, m.PrevLogIndex, m.PrevLogTerm, len(m.Entries), m.LeaderCommit)
+	return fmt.Sprintf("AppendEntries{t=%d leader=%d prev=%d/%d entries=%d commit=%d read=%d}",
+		m.Term, m.LeaderID, m.PrevLogIndex, m.PrevLogTerm, len(m.Entries), m.LeaderCommit, m.ReadID)
 }
 
 // InstallSnapshot ships a compacted leader's state-machine snapshot to a
@@ -141,11 +149,48 @@ type AppendEntriesReply struct {
 	Success    bool
 	MatchIndex int
 	RejectHint int
+	// ReadID echoes the request's read-round id. Even a log-mismatch
+	// rejection echoes it: the follower processed a message from this
+	// leader in the current term, which is the leadership acknowledgement
+	// ReadIndex confirmation needs (the log repair is orthogonal).
+	ReadID int
 }
 
 // String implements fmt.Stringer.
 func (m AppendEntriesReply) String() string {
-	return fmt.Sprintf("AppendEntriesReply{t=%d ok=%v match=%d hint=%d}", m.Term, m.Success, m.MatchIndex, m.RejectHint)
+	return fmt.Sprintf("AppendEntriesReply{t=%d ok=%v match=%d hint=%d read=%d}", m.Term, m.Success, m.MatchIndex, m.RejectHint, m.ReadID)
+}
+
+// ReadIndexRequest forwards a follower-received read to the leader (Raft
+// §6.4 follower reads): the follower asks the leader for a confirmed
+// read index, then serves the read from its own state machine once its
+// applied index catches up. Lease carries the client's consistency mode
+// so the leader may answer from a held lease without a quorum round.
+type ReadIndexRequest struct {
+	Term  int   // the follower's current term (stale requests are refused)
+	ID    int64 // follower-local correlation id, echoed in the reply
+	Lease bool  // true when the client asked for ReadLease semantics
+}
+
+// String implements fmt.Stringer.
+func (m ReadIndexRequest) String() string {
+	return fmt.Sprintf("ReadIndexRequest{t=%d id=%d lease=%v}", m.Term, m.ID, m.Lease)
+}
+
+// ReadIndexReply answers a ReadIndexRequest. Success=false means the
+// responder is not (or no longer) the leader and the follower should
+// fail the read back to its client for a retry.
+type ReadIndexReply struct {
+	Term    int
+	ID      int64
+	Index   int // the confirmed read index (valid when Success)
+	Success bool
+	Lease   bool // the leader served this from a held lease (telemetry)
+}
+
+// String implements fmt.Stringer.
+func (m ReadIndexReply) String() string {
+	return fmt.Sprintf("ReadIndexReply{t=%d id=%d idx=%d ok=%v lease=%v}", m.Term, m.ID, m.Index, m.Success, m.Lease)
 }
 
 // WireTypes lists every message type this package puts on the network,
@@ -156,6 +201,7 @@ func WireTypes() []any {
 		RequestVote{}, RequestVoteReply{},
 		PreVote{}, PreVoteReply{},
 		AppendEntries{}, AppendEntriesReply{},
+		ReadIndexRequest{}, ReadIndexReply{},
 		InstallSnapshot{},
 		Entry{}, DS{}, KVCommand{}, Noop{},
 	}

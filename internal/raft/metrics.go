@@ -37,6 +37,19 @@ type nodeMetrics struct {
 	storageFlush  *metrics.Counter   // group-commit flushes (≈ fsyncs)
 	storageRecs   *metrics.Counter   // log mutations inside those flushes
 
+	// Read fast-path instruments (reads never touch the log, so they get
+	// their own family): per-mode served counters, the coalescing width
+	// of confirmation rounds, request→reply latency, and the lease
+	// lifecycle (renewals, lapses under load, stepDown invalidations).
+	readsByMode    map[string]*metrics.Counter
+	readRounds     *metrics.Counter
+	readBatch      *metrics.Histogram // waiters per confirmed round
+	readLatency    *metrics.Histogram
+	readsForwarded *metrics.Counter
+	leaseHolds     *metrics.Counter
+	leaseExpiries  *metrics.Counter
+	leaseInvalid   *metrics.Counter
+
 	// pending maps a leader-appended log index to its append time; the
 	// entry is consumed when that index commits. Losing leadership
 	// abandons the map (those entries may commit under a later leader,
@@ -68,7 +81,19 @@ func newNodeMetrics(reg *metrics.Registry, id int) *nodeMetrics {
 		inflightDepth: reg.Histogram(metrics.Label("raft_append_inflight_window", "node", node), countBuckets),
 		storageFlush:  reg.Counter(metrics.Label("raft_storage_flushes_total", "node", node)),
 		storageRecs:   reg.Counter(metrics.Label("raft_storage_records_total", "node", node)),
-		pending:       make(map[int]time.Time),
+		readsByMode: map[string]*metrics.Counter{
+			"lease":     reg.Counter(metrics.Label("raft_reads_served_total", "node", node, "mode", "lease")),
+			"readindex": reg.Counter(metrics.Label("raft_reads_served_total", "node", node, "mode", "readindex")),
+			"stale":     reg.Counter(metrics.Label("raft_reads_served_total", "node", node, "mode", "stale")),
+		},
+		readRounds:     reg.Counter(metrics.Label("raft_read_rounds_total", "node", node)),
+		readBatch:      reg.Histogram(metrics.Label("raft_read_batch_size", "node", node), countBuckets),
+		readLatency:    reg.Histogram(metrics.Label("raft_read_latency_seconds", "node", node), nil),
+		readsForwarded: reg.Counter(metrics.Label("raft_reads_forwarded_total", "node", node)),
+		leaseHolds:     reg.Counter(metrics.Label("raft_lease_holds_total", "node", node)),
+		leaseExpiries:  reg.Counter(metrics.Label("raft_lease_expiries_total", "node", node)),
+		leaseInvalid:   reg.Counter(metrics.Label("raft_lease_invalidations_total", "node", node)),
+		pending:        make(map[int]time.Time),
 	}
 }
 
@@ -154,6 +179,58 @@ func (m *nodeMetrics) onApply() {
 func (m *nodeMetrics) onSnapshot() {
 	if m.enabled {
 		m.snapshots.Inc(m.node)
+	}
+}
+
+// onReadServed records one read answered to a local caller, labeled by
+// the path that served it, with its request→reply latency.
+func (m *nodeMetrics) onReadServed(mode string, d time.Duration) {
+	if !m.enabled {
+		return
+	}
+	if c, ok := m.readsByMode[mode]; ok {
+		c.Inc(m.node)
+	}
+	m.readLatency.Observe(m.node, d)
+}
+
+// onReadRound records one confirmed leadership round and how many reads
+// it coalesced.
+func (m *nodeMetrics) onReadRound(waiters int) {
+	if !m.enabled {
+		return
+	}
+	m.readRounds.Inc(m.node)
+	m.readBatch.Observe(m.node, time.Duration(waiters))
+}
+
+func (m *nodeMetrics) onReadForwarded() {
+	if m.enabled {
+		m.readsForwarded.Inc(m.node)
+	}
+}
+
+// onLeaseHold counts a lease renewal (a confirmed round pushing the
+// expiry forward).
+func (m *nodeMetrics) onLeaseHold() {
+	if m.enabled {
+		m.leaseHolds.Inc(m.node)
+	}
+}
+
+// onLeaseExpired counts a lease-mode read that found the lease lapsed
+// and fell back to a ReadIndex round.
+func (m *nodeMetrics) onLeaseExpired() {
+	if m.enabled {
+		m.leaseExpiries.Inc(m.node)
+	}
+}
+
+// onLeaseInvalidated counts a still-valid lease cut short by losing
+// leadership.
+func (m *nodeMetrics) onLeaseInvalidated() {
+	if m.enabled {
+		m.leaseInvalid.Inc(m.node)
 	}
 }
 

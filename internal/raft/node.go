@@ -82,6 +82,22 @@ type Config struct {
 	// coalesces into a single log append, one storage flush, and one
 	// broadcast per main-loop iteration. Default 64; minimum 1.
 	MaxProposalBatch int
+	// MaxReadBatch caps how many queued ReadIndex calls coalesce into a
+	// single leadership-confirmation round (one heartbeat exchange serves
+	// the whole batch). Default 256; minimum 1.
+	MaxReadBatch int
+	// LeaseDuration enables leader leases for the read fast path: after
+	// each quorum-confirmed round the leader may serve ReadLease reads
+	// without any further messaging until the lease (anchored at the
+	// round's start) expires. 0 disables leases — lease-mode reads then
+	// fall back to ReadIndex rounds. Safety requires the lease to expire
+	// before any other node can be elected, so normalization clamps it to
+	// 9/10 of ElectionTimeout (the missing tenth is the clock-skew
+	// allowance), and enabling leases also enables the leader-stickiness
+	// vote rule (a node refuses to vote while its election deadline is
+	// unexpired — Raft dissertation §4.2.3). Every node in a cluster must
+	// agree on whether leases are enabled.
+	LeaseDuration time.Duration
 	// Recorder, if non-nil, receives trace events.
 	Recorder *trace.Recorder
 	// Metrics, if non-nil, receives counters, gauges, and latency
@@ -119,6 +135,12 @@ func (c *Config) normalize() error {
 	if c.MaxProposalBatch < 1 {
 		c.MaxProposalBatch = 64
 	}
+	if c.MaxReadBatch < 1 {
+		c.MaxReadBatch = 256
+	}
+	if max := c.ElectionTimeout * 9 / 10; c.LeaseDuration > max {
+		c.LeaseDuration = max // clock-skew discount; see Config.LeaseDuration
+	}
 	return nil
 }
 
@@ -151,7 +173,26 @@ type Node struct {
 	outbox     []outMsg
 	replies    []stagedReply
 
+	// Read fast-path state (see read.go). Leader side: readSeq numbers
+	// confirmation rounds, reads holds the unconfirmed ones, curRound is
+	// this iteration's coalescing target, earlyReads park until the
+	// term-opening no-op commits, and leaseUntil is the held lease's
+	// expiry. Follower side: relay tracks reads forwarded to the leader,
+	// and applyWaits parks confirmed reads until the state machine
+	// catches up to their read index.
+	readSeq    int
+	reads      []*readRound
+	curRound   *readRound
+	earlyReads []readWaiter
+	leaseUntil time.Time
+	termStart  int // index of this leader term's opening no-op
+	relaySeq   int64
+	relay      map[int64]relayWait
+	applyWaits []applyWait
+	rstats     readStats
+
 	proposeCh  chan proposeReq
+	readCh     chan readReq
 	campaignCh chan any
 	statusCh   chan chan Status
 	stopped    chan struct{}
@@ -196,6 +237,8 @@ func NewNode(cfg Config) (*Node, error) {
 		// Buffered so concurrent proposers queue up and the leader's
 		// drain can coalesce them into one batch.
 		proposeCh:  make(chan proposeReq, cfg.MaxProposalBatch),
+		readCh:     make(chan readReq, cfg.MaxReadBatch),
+		relay:      make(map[int64]relayWait),
 		campaignCh: make(chan any, 1),
 		statusCh:   make(chan chan Status),
 		stopped:    make(chan struct{}),
@@ -312,6 +355,9 @@ func (nd *Node) flush() {
 		r.ch <- r.reply
 	}
 	nd.replies = nd.replies[:0]
+	// A read round only coalesces joiners within the iteration whose
+	// flush carries its probe; later reads need a fresh round.
+	nd.curRound = nil
 }
 
 // Start launches the node's goroutines. The node runs until ctx is
@@ -399,12 +445,18 @@ func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
 		case <-heartbeat.C():
 			if nd.hs.state == Leader {
 				nd.met.onHeartbeat()
+				if nd.cfg.LeaseDuration > 0 {
+					nd.startLeaseRound() // keep an idle leader's lease warm
+				}
 				nd.broadcastHeartbeat()
 			}
 			heartbeat.Reset(nd.cfg.HeartbeatInterval)
 
 		case req := <-nd.proposeCh:
 			nd.handleProposeBatch(nd.drainProposals(req))
+
+		case req := <-nd.readCh:
+			nd.handleReadBatch(nd.drainReads(req))
 
 		case v := <-nd.campaignCh:
 			nd.campaign = v
@@ -565,6 +617,12 @@ func (nd *Node) Propose(ctx context.Context, cmd any) (index int, err error) {
 	}
 }
 
+// StateMachine returns the node's configured state machine (nil if
+// none). It is fixed at construction, so the accessor is safe from any
+// goroutine; the Client uses it to serve reads from the local store
+// after a ReadIndex round proves the applied state is fresh enough.
+func (nd *Node) StateMachine() StateMachine { return nd.cfg.StateMachine }
+
 // Done is closed when the node has fully stopped. Restart orchestration
 // (crash-recovery with a shared endpoint or storage) must wait for it
 // before booting a replacement node.
@@ -642,6 +700,10 @@ func (nd *Node) handleMessage(m msgnet.Message) {
 		nd.onInstallSnapshot(m.From, p)
 	case AppendEntriesReply:
 		nd.onAppendEntriesReply(m.From, p)
+	case ReadIndexRequest:
+		nd.onReadIndexRequest(m.From, p)
+	case ReadIndexReply:
+		nd.onReadIndexReply(m.From, p)
 	default:
 		nd.cfg.Recorder.Note(nd.cfg.ID, "raft: dropping foreign message %T", m.Payload)
 	}
@@ -654,6 +716,17 @@ func (nd *Node) send(to int, payload any) {
 }
 
 func (nd *Node) onRequestVote(from int, m RequestVote) {
+	// Leader stickiness (dissertation §4.2.3), enabled with leases: while
+	// this node's election deadline is unexpired it has heard from a live
+	// leader recently, and granting a vote could elect a new leader inside
+	// that leader's read lease. Refuse without even updating the term —
+	// checked before the stepDown below precisely because stepping down
+	// would erase the evidence of the live leader.
+	if nd.cfg.LeaseDuration > 0 && m.Term > nd.hs.currentTerm &&
+		nd.hs.leaderID != none && nd.cfg.Clock.Now().Before(nd.electionDeadline) {
+		nd.send(from, RequestVoteReply{Term: nd.hs.currentTerm, VoteGranted: false})
+		return
+	}
 	if m.Term > nd.hs.currentTerm {
 		nd.stepDown(m.Term)
 	}
@@ -705,7 +778,7 @@ func (nd *Node) onAppendEntries(from int, m AppendEntries) {
 	if m.PrevLogIndex < nd.hs.log.snapIndex {
 		cut := nd.hs.log.snapIndex - m.PrevLogIndex
 		if cut >= len(m.Entries) {
-			nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: nd.hs.log.snapIndex})
+			nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: nd.hs.log.snapIndex, ReadID: m.ReadID})
 			return
 		}
 		m.Entries = m.Entries[cut:]
@@ -715,7 +788,10 @@ func (nd *Node) onAppendEntries(from int, m AppendEntries) {
 
 	if !nd.hs.log.matches(m.PrevLogIndex, m.PrevLogTerm) {
 		hint := min(m.PrevLogIndex-1, nd.hs.log.lastIndex())
-		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false, RejectHint: hint})
+		// The rejection still echoes ReadID: this follower acknowledged the
+		// sender as the current term's leader, which is all a ReadIndex
+		// confirmation needs — log repair is a separate concern.
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false, RejectHint: hint, ReadID: m.ReadID})
 		return
 	}
 	before := nd.hs.log.lastIndex()
@@ -730,7 +806,7 @@ func (nd *Node) onAppendEntries(from int, m AppendEntries) {
 	if m.LeaderCommit > nd.hs.commitIndex {
 		nd.setCommitIndex(min(m.LeaderCommit, lastNew))
 	}
-	nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: lastNew})
+	nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: lastNew, ReadID: m.ReadID})
 }
 
 func (nd *Node) onAppendEntriesReply(from int, m AppendEntriesReply) {
@@ -742,6 +818,7 @@ func (nd *Node) onAppendEntriesReply(from int, m AppendEntriesReply) {
 		return
 	}
 	nd.ls.acked[from] = true // any current-term reply proves the pipe is live
+	nd.onReadAck(from, m.ReadID)
 	if m.Success {
 		if nd.ls.inflight[from] > 0 {
 			nd.ls.inflight[from]--
@@ -790,6 +867,7 @@ func (nd *Node) stepDown(term int) {
 	nd.ls = nil
 	nd.votes = nil
 	nd.preVotes = nil
+	nd.failReads()
 	nd.persistState()
 	nd.pushDeadline()
 	if wasLeader {
@@ -806,6 +884,7 @@ func (nd *Node) becomeCandidate() {
 	nd.hs.leaderID = none
 	nd.ls = nil
 	nd.votes = map[int]bool{nd.cfg.ID: true}
+	nd.failReads()
 	nd.persistState()
 	nd.pushDeadline()
 	nd.emit(Event{Kind: EventBecameCandidate, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
@@ -845,7 +924,10 @@ func (nd *Node) becomeLeader() {
 		cmds = append(cmds, nd.campaign)
 		nd.campaign = nil
 	}
-	nd.appendLocalBatch(cmds)
+	// Reads are gated on this index committing: until then the new leader
+	// cannot know the true commit frontier (§6.4 step 1, §5.4.2).
+	nd.termStart = nd.appendLocalBatch(cmds)
+	nd.leaseUntil = time.Time{} // a new reign earns its lease from scratch
 	nd.advanceCommit()
 	nd.broadcastAppend()
 }
@@ -927,6 +1009,7 @@ func (nd *Node) sendAppend(to int) {
 			PrevLogTerm:  prevTerm,
 			Entries:      entries,
 			LeaderCommit: nd.hs.commitIndex,
+			ReadID:       nd.readSeq,
 		})
 		nd.ls.inflight[to]++
 		nd.ls.nextIndex[to] = next + len(entries) // optimistic; rolled back on rejection
@@ -957,6 +1040,7 @@ func (nd *Node) sendHeartbeat(to int) {
 		PrevLogIndex: prev,
 		PrevLogTerm:  prevTerm,
 		LeaderCommit: nd.hs.commitIndex,
+		ReadID:       nd.readSeq,
 	})
 }
 
@@ -1054,6 +1138,7 @@ func (nd *Node) onInstallSnapshot(from int, m InstallSnapshot) {
 	nd.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
 	nd.hs.commitIndex = m.LastIncludedIndex
 	nd.hs.lastApplied = m.LastIncludedIndex
+	nd.drainApplyWaits()
 	nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: m.LastIncludedIndex, Command: nil})
 	nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: m.LastIncludedIndex})
 }
@@ -1129,6 +1214,8 @@ func (nd *Node) setCommitIndex(index int) {
 		nd.met.onApply()
 		nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: nd.hs.lastApplied, Command: e.Command})
 	}
+	nd.drainApplyWaits()
+	nd.dispatchEarlyReads()
 	nd.maybeCompact()
 }
 

@@ -28,7 +28,7 @@ type cluster struct {
 	ctx    context.Context
 }
 
-func newCluster(t *testing.T, n int, seed uint64) *cluster {
+func newCluster(t *testing.T, n int, seed uint64, opts ...func(*Config)) *cluster {
 	t.Helper()
 	nw := netsim.New(n, netsim.WithSeed(seed))
 	ctx, cancel := context.WithCancel(context.Background())
@@ -37,14 +37,18 @@ func newCluster(t *testing.T, n int, seed uint64) *cluster {
 	rng := sim.NewRNG(seed)
 	for id := 0; id < n; id++ {
 		kv := &KVStore{}
-		node, err := NewNode(Config{
+		cfg := Config{
 			ID:                id,
 			Endpoint:          nw.Node(id),
 			RNG:               rng.Fork(uint64(id)),
 			ElectionTimeout:   testElection,
 			HeartbeatInterval: testHeartbeat,
 			StateMachine:      kv,
-		})
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		node, err := NewNode(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

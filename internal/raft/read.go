@@ -1,0 +1,497 @@
+package raft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ReadConsistency selects how a read is served (see Client.Read and
+// Node.ReadIndexMode). The zero value is the strongest mode.
+type ReadConsistency int
+
+const (
+	// ReadLinearizable serves the read through a ReadIndex round (Raft
+	// §6.4): the leader records its commit index, confirms it is still
+	// leader with one quorum round piggybacked on AppendEntries, waits for
+	// applied ≥ readIndex, and answers from the local state machine — no
+	// log append, no fsync.
+	ReadLinearizable ReadConsistency = iota
+	// ReadLease serves from the leader's clock-skew-discounted lease when
+	// one is held (no quorum round at all), falling back to a ReadIndex
+	// round when the lease has lapsed. Requires Config.LeaseDuration > 0
+	// on every node; linearizable under the bounded-clock-drift assumption
+	// documented in DESIGN.md §3.3.
+	ReadLease
+	// ReadStale reads the local state machine with no coordination and no
+	// consistency guarantee beyond "some applied prefix of the log".
+	ReadStale
+	// ReadLogCommand replicates the read through the log like a write —
+	// the pre-fast-path baseline. Only the Client implements it (a node
+	// cannot decide commitment by itself); it exists so benchmarks and
+	// tests can compare the fast path against reads-as-log-commands.
+	ReadLogCommand
+)
+
+var readConsistencyNames = map[ReadConsistency]string{
+	ReadLinearizable: "linearizable",
+	ReadLease:        "lease",
+	ReadStale:        "stale",
+	ReadLogCommand:   "log",
+}
+
+// String implements fmt.Stringer.
+func (rc ReadConsistency) String() string {
+	if n, ok := readConsistencyNames[rc]; ok {
+		return n
+	}
+	return fmt.Sprintf("ReadConsistency(%d)", int(rc))
+}
+
+// ParseReadConsistency maps a flag value ("linearizable", "lease",
+// "stale", "log") to its ReadConsistency.
+func ParseReadConsistency(s string) (ReadConsistency, error) {
+	for rc, name := range readConsistencyNames {
+		if name == s {
+			return rc, nil
+		}
+	}
+	return 0, fmt.Errorf("raft: unknown read consistency %q (want linearizable, lease, stale, or log)", s)
+}
+
+// ErrLeaseNotEnabled is returned by lease-mode reads on clusters whose
+// nodes were configured without Config.LeaseDuration.
+// (Lease-mode reads still work — they fall back to ReadIndex rounds —
+// so this error is currently unused; it is reserved for a strict mode.)
+var ErrLeaseNotEnabled = errors.New("raft: leases not enabled (Config.LeaseDuration is 0)")
+
+// readReq is one read waiting on the main loop, mirroring proposeReq.
+type readReq struct {
+	mode  ReadConsistency
+	reply chan proposeReply
+	t0    time.Time
+}
+
+// readWaiter is one read attached to a confirmation round: either a
+// local caller (ch != nil) or a follower-forwarded request to answer
+// with a ReadIndexReply.
+type readWaiter struct {
+	ch    chan proposeReply // local waiter; nil for a forwarded read
+	from  int               // forwarding follower (when ch == nil)
+	id    int64             // forwarded request correlation id
+	lease bool              // client asked for ReadLease semantics
+	t0    time.Time         // local request arrival, for the latency histogram
+}
+
+// readRound is one leadership-confirmation round: all reads that
+// coalesced into it share a single heartbeat exchange. The round is
+// confirmed once a quorum (including the leader) has echoed a read id
+// ≥ id, proving leadership held after start — at which point index is a
+// valid linearizable read index and start anchors a lease renewal.
+type readRound struct {
+	id      int
+	start   time.Time
+	index   int
+	waiters []readWaiter
+}
+
+// applyWait parks a resolved read until the local state machine has
+// applied through index — the follower-read tail, and the generic
+// applied ≥ readIndex guard of §6.4.
+type applyWait struct {
+	w     readWaiter
+	index int
+	lease bool // the read index came from a held lease, not a quorum round
+}
+
+// relayWait is a follower-local read forwarded to the leader, keyed by
+// the ReadIndexRequest id until the ReadIndexReply arrives.
+type relayWait struct {
+	ch    chan proposeReply
+	t0    time.Time
+	lease bool
+}
+
+// readStats are always-on counters (independent of the metrics
+// registry) so harnesses can attribute reads to the path that served
+// them without wiring telemetry.
+type readStats struct {
+	lease     atomic.Int64 // served from a held lease, no quorum round
+	index     atomic.Int64 // served by a confirmed ReadIndex round
+	stale     atomic.Int64 // served locally with no coordination
+	forwarded atomic.Int64 // forwarded to the leader by this follower
+}
+
+// ReadStats reports how many reads this node has served per path:
+// lease fast path, confirmed ReadIndex rounds, stale local reads, and
+// reads forwarded to the leader while this node was a follower.
+func (nd *Node) ReadStats() (lease, index, stale, forwarded int64) {
+	return nd.rstats.lease.Load(), nd.rstats.index.Load(),
+		nd.rstats.stale.Load(), nd.rstats.forwarded.Load()
+}
+
+// ReadIndex returns a linearizable read index: once it returns, this
+// node's state machine has applied every entry committed before the
+// call, and reading it observes a state no older than that point. It is
+// served without appending to the log (Raft §6.4). On a follower the
+// request is forwarded to the leader and the follower waits for its own
+// apply index to catch up before returning.
+func (nd *Node) ReadIndex(ctx context.Context) (int, error) {
+	return nd.ReadIndexMode(ctx, ReadLinearizable)
+}
+
+// ReadIndexMode is ReadIndex with an explicit consistency mode:
+// ReadLinearizable always runs a confirmation round, ReadLease uses the
+// leader's lease when valid (falling back to a round), and ReadStale
+// returns the local applied index immediately. ReadLogCommand is a
+// client-side mode and is rejected here.
+func (nd *Node) ReadIndexMode(ctx context.Context, mode ReadConsistency) (int, error) {
+	if mode == ReadLogCommand {
+		return 0, errors.New("raft: ReadLogCommand is served by the Client, not the node")
+	}
+	req := readReq{mode: mode, reply: make(chan proposeReply, 1), t0: time.Now()}
+	select {
+	case nd.readCh <- req:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-nd.stopped:
+		return 0, ErrStopped
+	}
+	select {
+	case rep := <-req.reply:
+		return rep.index, rep.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-nd.stopped:
+		return 0, ErrStopped
+	}
+}
+
+// ---- main-loop read handling ----
+
+// drainReads collects the reads already queued behind first, up to the
+// coalescing cap — one leadership-confirmation round serves them all.
+func (nd *Node) drainReads(first readReq) []readReq {
+	reqs := append(make([]readReq, 0, 8), first)
+	for len(reqs) < nd.cfg.MaxReadBatch {
+		select {
+		case r := <-nd.readCh:
+			reqs = append(reqs, r)
+		default:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// handleReadBatch dispatches a drained batch of local reads: stale reads
+// answer immediately from any role, leader reads take the lease or
+// ReadIndex path, and follower reads are forwarded to the leader.
+func (nd *Node) handleReadBatch(reqs []readReq) {
+	for _, r := range reqs {
+		if r.mode == ReadStale {
+			nd.rstats.stale.Add(1)
+			nd.met.onReadServed("stale", time.Since(r.t0))
+			nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: nd.hs.lastApplied}})
+			continue
+		}
+		w := readWaiter{ch: r.reply, lease: r.mode == ReadLease, t0: r.t0}
+		if nd.hs.state == Leader {
+			nd.leaderRead(w)
+			continue
+		}
+		nd.forwardRead(w)
+	}
+}
+
+// forwardRead relays a follower-received read to the known leader, or
+// fails it when no leader is known (the client retries after backoff).
+func (nd *Node) forwardRead(w readWaiter) {
+	if nd.hs.leaderID == none || nd.hs.leaderID == nd.cfg.ID {
+		nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: proposeReply{err: ErrNotLeader{LeaderID: none}}})
+		return
+	}
+	nd.relaySeq++
+	nd.relay[nd.relaySeq] = relayWait{ch: w.ch, t0: w.t0, lease: w.lease}
+	nd.rstats.forwarded.Add(1)
+	nd.met.onReadForwarded()
+	nd.send(nd.hs.leaderID, ReadIndexRequest{Term: nd.hs.currentTerm, ID: nd.relaySeq, Lease: w.lease})
+}
+
+// leaderRead serves one read on the leader: until the term-opening no-op
+// commits the leader cannot know the true commit frontier (§6.4 step 1),
+// so reads park; with a valid lease a lease-mode read answers from the
+// current commit index immediately; everything else joins a
+// confirmation round.
+func (nd *Node) leaderRead(w readWaiter) {
+	if nd.hs.commitIndex < nd.termStart {
+		nd.earlyReads = append(nd.earlyReads, w)
+		return
+	}
+	if w.lease && nd.leaseValid() {
+		if w.ch != nil {
+			nd.rstats.lease.Add(1)
+		}
+		nd.resolveRead(w, nd.hs.commitIndex, true)
+		return
+	}
+	if w.lease {
+		nd.met.onLeaseExpired()
+	}
+	nd.joinReadRound(w)
+}
+
+// leaseValid reports whether this leader currently holds a read lease.
+// The lease is anchored to the start of the last quorum-confirmed round
+// and discounted for clock skew in Config normalization, so it always
+// expires before any other node can possibly win an election — see the
+// safety argument in DESIGN.md §3.3.
+func (nd *Node) leaseValid() bool {
+	return nd.cfg.LeaseDuration > 0 && nd.hs.state == Leader &&
+		nd.cfg.Clock.Now().Before(nd.leaseUntil)
+}
+
+// joinReadRound attaches a waiter to this iteration's confirmation
+// round, creating it (and staging its probe broadcast) if none exists
+// yet or the commit index has moved since it was created. All messages
+// staged this iteration leave in one flush, after every handler has
+// run, so a waiter that joins an existing round is still invoked-before
+// the probe physically departs — the confirmation ack therefore proves
+// leadership after the read's invocation, which is what linearizability
+// needs.
+func (nd *Node) joinReadRound(w readWaiter) {
+	if nd.curRound != nil && nd.curRound.index == nd.hs.commitIndex {
+		nd.curRound.waiters = append(nd.curRound.waiters, w)
+		return
+	}
+	nd.readSeq++
+	r := &readRound{
+		id:      nd.readSeq,
+		start:   nd.cfg.Clock.Now(),
+		index:   nd.hs.commitIndex,
+		waiters: []readWaiter{w},
+	}
+	nd.reads = append(nd.reads, r)
+	nd.curRound = r
+	nd.broadcastReadProbe()
+	nd.confirmReads() // single-node clusters are their own quorum
+}
+
+// startLeaseRound opens a waiterless confirmation round on the
+// heartbeat tick so an idle leader's lease stays warm. If a round is
+// already pending, its confirmation will renew the lease; opening more
+// would only let a partitioned leader accumulate rounds that can never
+// confirm.
+func (nd *Node) startLeaseRound() {
+	if len(nd.reads) > 0 {
+		return
+	}
+	nd.readSeq++
+	nd.reads = append(nd.reads, &readRound{
+		id:    nd.readSeq,
+		start: nd.cfg.Clock.Now(),
+		index: nd.hs.commitIndex,
+	})
+	nd.confirmReads() // single-node clusters confirm immediately
+}
+
+// broadcastReadProbe sends every follower an empty AppendEntries
+// carrying the current read-round id. Unlike broadcastHeartbeat it does
+// not touch the replication pipeline's stall-recovery bookkeeping:
+// read rounds can fire far more often than the heartbeat tick, and
+// resetting the acked flags that frequently would make healthy
+// pipelines look stalled.
+func (nd *Node) broadcastReadProbe() {
+	for peer := 0; peer < nd.n; peer++ {
+		if peer != nd.cfg.ID {
+			nd.sendHeartbeat(peer)
+		}
+	}
+}
+
+// onReadAck records a follower's read-round echo and confirms every
+// round a quorum has now acknowledged. Called for every same-term
+// AppendEntriesReply, success or rejection alike.
+func (nd *Node) onReadAck(from, id int) {
+	if id > nd.ls.readAck[from] {
+		nd.ls.readAck[from] = id
+		nd.confirmReads()
+	}
+}
+
+// confirmReads resolves pending rounds, oldest first (acks are
+// monotonic, so confirmation is prefix-closed): each confirmed round
+// renews the lease from its own start time and releases its waiters at
+// its recorded read index.
+func (nd *Node) confirmReads() {
+	if nd.hs.state != Leader {
+		return
+	}
+	for len(nd.reads) > 0 {
+		r := nd.reads[0]
+		count := 1 // self
+		for peer, ack := range nd.ls.readAck {
+			if peer != nd.cfg.ID && ack >= r.id {
+				count++
+			}
+		}
+		if 2*count <= nd.n {
+			return
+		}
+		if nd.cfg.LeaseDuration > 0 {
+			if until := r.start.Add(nd.cfg.LeaseDuration); until.After(nd.leaseUntil) {
+				nd.leaseUntil = until
+				nd.met.onLeaseHold()
+			}
+		}
+		if len(r.waiters) > 0 {
+			nd.met.onReadRound(len(r.waiters))
+		}
+		for _, w := range r.waiters {
+			if w.ch != nil {
+				nd.rstats.index.Add(1)
+			}
+			nd.resolveRead(w, r.index, false)
+		}
+		nd.reads = nd.reads[1:]
+		if nd.curRound == r {
+			nd.curRound = nil
+		}
+	}
+}
+
+// readModeLabel names the path that actually served a read, for the
+// per-mode counters.
+func readModeLabel(lease bool) string {
+	if lease {
+		return "lease"
+	}
+	return "readindex"
+}
+
+// resolveRead delivers a confirmed read index: forwarded reads answer
+// their follower (which runs its own applied-wait and counts the read
+// there, attributed by the Lease flag), local reads answer once the
+// local state machine has applied through index — immediately on the
+// leader, whose apply is synchronous with commit. lease records whether
+// the index came from a held lease or a quorum round.
+func (nd *Node) resolveRead(w readWaiter, index int, lease bool) {
+	if w.ch == nil {
+		nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Index: index, Success: true, Lease: lease})
+		return
+	}
+	if nd.hs.lastApplied >= index {
+		nd.met.onReadServed(readModeLabel(lease), time.Since(w.t0))
+		nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: proposeReply{index: index}})
+		return
+	}
+	nd.applyWaits = append(nd.applyWaits, applyWait{w: w, index: index, lease: lease})
+}
+
+// drainApplyWaits releases reads whose target index the state machine
+// has now applied; called whenever lastApplied advances.
+func (nd *Node) drainApplyWaits() {
+	if len(nd.applyWaits) == 0 {
+		return
+	}
+	kept := nd.applyWaits[:0]
+	for _, aw := range nd.applyWaits {
+		if nd.hs.lastApplied >= aw.index {
+			nd.met.onReadServed(readModeLabel(aw.lease), time.Since(aw.w.t0))
+			nd.replies = append(nd.replies, stagedReply{ch: aw.w.ch, reply: proposeReply{index: aw.index}})
+		} else {
+			kept = append(kept, aw)
+		}
+	}
+	nd.applyWaits = kept
+}
+
+// dispatchEarlyReads re-serves reads that arrived before the
+// term-opening no-op committed; called when the commit index advances.
+func (nd *Node) dispatchEarlyReads() {
+	if len(nd.earlyReads) == 0 || nd.hs.state != Leader || nd.hs.commitIndex < nd.termStart {
+		return
+	}
+	pending := nd.earlyReads
+	nd.earlyReads = nil
+	for _, w := range pending {
+		nd.leaderRead(w)
+	}
+}
+
+// failReads fails every read the node cannot serve any more: pending and
+// parked leader-side rounds (leadership is gone or unproven) and
+// follower-side relays (the answering leader may be gone). Reads already
+// past confirmation and merely waiting on apply stay parked — their
+// linearization point is already fixed, and a later leader's entries
+// will advance the apply index. Called on stepDown and on becoming a
+// candidate.
+func (nd *Node) failReads() {
+	rep := proposeReply{err: ErrNotLeader{LeaderID: none}}
+	for _, r := range nd.reads {
+		for _, w := range r.waiters {
+			if w.ch != nil {
+				nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: rep})
+			} else {
+				nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Success: false})
+			}
+		}
+	}
+	nd.reads = nil
+	nd.curRound = nil
+	for _, w := range nd.earlyReads {
+		if w.ch != nil {
+			nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: rep})
+		} else {
+			nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Success: false})
+		}
+	}
+	nd.earlyReads = nil
+	// Not leaseValid(): by the time failReads runs the role has already
+	// changed, and the point is to count leases cut short by deposition.
+	if nd.cfg.LeaseDuration > 0 && nd.cfg.Clock.Now().Before(nd.leaseUntil) {
+		nd.met.onLeaseInvalidated()
+	}
+	nd.leaseUntil = time.Time{}
+	for id, rw := range nd.relay {
+		nd.replies = append(nd.replies, stagedReply{ch: rw.ch, reply: rep})
+		delete(nd.relay, id)
+	}
+}
+
+// ---- forwarded-read message handlers (main loop only) ----
+
+func (nd *Node) onReadIndexRequest(from int, m ReadIndexRequest) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term)
+	}
+	if nd.hs.state != Leader || m.Term != nd.hs.currentTerm {
+		nd.send(from, ReadIndexReply{Term: nd.hs.currentTerm, ID: m.ID, Success: false})
+		return
+	}
+	nd.leaderRead(readWaiter{from: from, id: m.ID, lease: m.Lease, t0: time.Now()})
+}
+
+func (nd *Node) onReadIndexReply(from int, m ReadIndexReply) {
+	if m.Term > nd.hs.currentTerm {
+		nd.stepDown(m.Term) // clears the relay table; the client retries
+		return
+	}
+	rw, ok := nd.relay[m.ID]
+	if !ok {
+		return // superseded by a term change, or a duplicate
+	}
+	delete(nd.relay, m.ID)
+	if !m.Success {
+		nd.replies = append(nd.replies, stagedReply{ch: rw.ch, reply: proposeReply{err: ErrNotLeader{LeaderID: nd.hs.leaderID}}})
+		return
+	}
+	if m.Lease {
+		nd.rstats.lease.Add(1)
+	} else {
+		nd.rstats.index.Add(1)
+	}
+	nd.resolveRead(readWaiter{ch: rw.ch, lease: rw.lease, t0: rw.t0}, m.Index, m.Lease)
+}

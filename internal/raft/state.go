@@ -53,6 +53,10 @@ type leaderState struct {
 	matchIndex []int
 	inflight   []int
 	acked      []bool
+	// readAck[p] is the highest read-round id peer p has echoed this term
+	// (see AppendEntries.ReadID). Monotonic, so an echo of id X confirms
+	// every pending ReadIndex round with id ≤ X.
+	readAck []int
 }
 
 // newLeaderState initializes the arrays after winning an election:
@@ -63,6 +67,7 @@ func newLeaderState(n, lastLogIndex int) *leaderState {
 		matchIndex: make([]int, n),
 		inflight:   make([]int, n),
 		acked:      make([]bool, n),
+		readAck:    make([]int, n),
 	}
 	for i := range ls.nextIndex {
 		ls.nextIndex[i] = lastLogIndex + 1

@@ -15,6 +15,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -65,10 +66,20 @@ type Transport struct {
 	wg sync.WaitGroup
 }
 
+// outConn is one buffered outbound stream: the encoder writes into bw,
+// and each Send flushes after encoding — so a message still leaves in
+// one syscall instead of the several small writes gob produces, and
+// Broadcast can batch its per-peer copies into a single flush each.
 type outConn struct {
 	conn net.Conn
+	bw   *bufio.Writer
 	enc  *gob.Encoder
 }
+
+// outBufSize is the per-peer write buffer. Large enough to hold a
+// typical AppendEntries batch; anything bigger spills through bufio's
+// large-write path unharmed.
+const outBufSize = 64 << 10
 
 var _ msgnet.Endpoint = (*Transport)(nil)
 
@@ -137,6 +148,13 @@ func (tr *Transport) Addr() string { return tr.ln.Addr().String() }
 
 // Send implements msgnet.Endpoint. Local sends short-circuit the network.
 func (tr *Transport) Send(to int, payload any) error {
+	return tr.send(to, payload, true)
+}
+
+// send encodes payload to peer to; when flush is set the write buffer is
+// drained before returning (the single-Send path). Broadcast passes
+// flush=false and drains every dirty peer once at the end instead.
+func (tr *Transport) send(to int, payload any, flush bool) error {
 	if to < 0 || to >= len(tr.addrs) {
 		return fmt.Errorf("transport: send to invalid node %d", to)
 	}
@@ -155,6 +173,9 @@ func (tr *Transport) Send(to int, payload any) error {
 	oc, err := tr.connLocked(to)
 	if err == nil {
 		err = oc.enc.Encode(envelope{From: tr.id, Payload: payload})
+		if err == nil && flush {
+			err = oc.bw.Flush()
+		}
 		if err != nil {
 			// Broken pipe: drop the connection; the next send redials.
 			_ = oc.conn.Close()
@@ -172,14 +193,35 @@ func (tr *Transport) Send(to int, payload any) error {
 	return nil
 }
 
-// Broadcast implements msgnet.Endpoint.
+// Broadcast implements msgnet.Endpoint. Each peer's copy is encoded into
+// its write buffer first and the buffers are flushed once per peer at
+// the end, so an n-way broadcast costs one syscall per peer rather than
+// one per gob fragment. A copy that dies at flush time is a silent drop,
+// same as any remote loss.
 func (tr *Transport) Broadcast(payload any) error {
 	for to := range tr.addrs {
-		if err := tr.Send(to, payload); err != nil {
+		if err := tr.send(to, payload, false); err != nil {
 			return fmt.Errorf("transport: broadcast: %w", err)
 		}
 	}
+	tr.flushAll()
 	return nil
+}
+
+// flushAll drains every buffered outbound connection, dropping the ones
+// whose peer has gone away.
+func (tr *Transport) flushAll() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for to, oc := range tr.conns {
+		if oc.bw.Buffered() == 0 {
+			continue
+		}
+		if err := oc.bw.Flush(); err != nil {
+			_ = oc.conn.Close()
+			delete(tr.conns, to)
+		}
+	}
 }
 
 // Recv implements msgnet.Endpoint.
@@ -256,7 +298,8 @@ func (tr *Transport) connLocked(to int) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, tr.addrs[to], err)
 	}
-	oc := &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+	bw := bufio.NewWriterSize(conn, outBufSize)
+	oc := &outConn{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
 	tr.conns[to] = oc
 	return oc, nil
 }

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ooc/internal/sim"
+)
+
+// KeyDist selects how KVMix draws keys from the keyspace.
+type KeyDist int
+
+const (
+	// KeysUniform draws every key with equal probability.
+	KeysUniform KeyDist = iota + 1
+	// KeysZipfian draws keys from a Zipf(s=Theta) distribution over the
+	// keyspace, concentrating traffic on a hot head — the usual model for
+	// caching and read-path experiments (YCSB's default shape).
+	KeysZipfian
+)
+
+var keyDistNames = map[KeyDist]string{
+	KeysUniform: "uniform",
+	KeysZipfian: "zipfian",
+}
+
+// String implements fmt.Stringer.
+func (d KeyDist) String() string {
+	if n, ok := keyDistNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("KeyDist(%d)", int(d))
+}
+
+// ParseKeyDist maps a flag value ("uniform", "zipfian") to its KeyDist.
+func ParseKeyDist(s string) (KeyDist, error) {
+	for d, name := range keyDistNames {
+		if name == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown key distribution %q (want uniform or zipfian)", s)
+}
+
+// KVOp is one operation drawn from a KVMix: a read of Key, or a write of
+// Value to Key.
+type KVOp struct {
+	Read  bool
+	Key   string
+	Value string
+}
+
+// KVMixConfig shapes a read/write key-value workload.
+type KVMixConfig struct {
+	// ReadRatio is the fraction of operations that are reads, in [0, 1].
+	ReadRatio float64
+	// Keys is the keyspace size (default 1000). Keys are "k000000"-style
+	// fixed-width strings so ordering and width are stable.
+	Keys int
+	// Dist selects the key distribution (default KeysUniform).
+	Dist KeyDist
+	// Theta is the Zipf exponent for KeysZipfian (default 0.99, YCSB's).
+	Theta float64
+}
+
+// KVMix generates a randomized read/write stream over a bounded
+// keyspace, deterministically from a sim.RNG — every client in a
+// benchmark forks its own stream (rng.Stream) and draws independently.
+// Not safe for concurrent use; give each goroutine its own KVMix.
+type KVMix struct {
+	cfg  KVMixConfig
+	rng  *sim.RNG
+	cdf  []float64 // cumulative Zipf mass per rank; nil for uniform
+	seq  int64     // distinct written values, for linearizability checking
+	keys []string  // precomputed key strings
+}
+
+// NewKVMix validates cfg, fills defaults, and precomputes the key table
+// (and, for KeysZipfian, the cumulative distribution — O(Keys) once,
+// O(log Keys) per draw).
+func NewKVMix(cfg KVMixConfig, rng *sim.RNG) (*KVMix, error) {
+	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
+		return nil, fmt.Errorf("workload: read ratio %v outside [0, 1]", cfg.ReadRatio)
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1000
+	}
+	if cfg.Dist == 0 {
+		cfg.Dist = KeysUniform
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	m := &KVMix{cfg: cfg, rng: rng, keys: make([]string, cfg.Keys)}
+	for i := range m.keys {
+		m.keys[i] = fmt.Sprintf("k%06d", i)
+	}
+	if cfg.Dist == KeysZipfian {
+		m.cdf = make([]float64, cfg.Keys)
+		sum := 0.0
+		for i := 0; i < cfg.Keys; i++ {
+			sum += 1 / math.Pow(float64(i+1), cfg.Theta)
+			m.cdf[i] = sum
+		}
+		for i := range m.cdf {
+			m.cdf[i] /= sum
+		}
+	}
+	return m, nil
+}
+
+// Next draws the next operation. Written values are globally unique per
+// KVMix ("v<n>"), so a linearizability checker can identify which write
+// a read observed.
+func (m *KVMix) Next() KVOp {
+	key := m.keys[m.drawKey()]
+	if m.rng.Float64() < m.cfg.ReadRatio {
+		return KVOp{Read: true, Key: key}
+	}
+	m.seq++
+	return KVOp{Key: key, Value: fmt.Sprintf("v%d", m.seq)}
+}
+
+// drawKey samples a key rank from the configured distribution.
+func (m *KVMix) drawKey() int {
+	if m.cdf == nil {
+		return m.rng.Intn(m.cfg.Keys)
+	}
+	// Binary search the precomputed CDF: first rank with cdf ≥ u.
+	u := m.rng.Float64()
+	lo, hi := 0, len(m.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
