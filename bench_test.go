@@ -534,6 +534,40 @@ func BenchmarkE14RaftThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE16MultiShard: experiment E16 — one closed-loop multi-Raft
+// window (2 shards over 3 nodes, file storage). Asserts the shard
+// router spread work across groups and leadership across nodes; reports
+// aggregate committed ops/sec.
+func BenchmarkE16MultiShard(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMultiShard(bench.MultiShardConfig{
+			Nodes:           3,
+			Shards:          2,
+			ClientsPerShard: 8,
+			Duration:        200 * time.Millisecond,
+			Seed:            uint64(i) + 1,
+			FileStorage:     true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ops == 0 {
+			b.Fatal("no ops committed")
+		}
+		for s, n := range res.PerShardOps {
+			if n == 0 {
+				b.Fatalf("shard %d committed nothing: router funnelled %v", s, res.PerShardOps)
+			}
+		}
+		if res.LeaderSpread < 2 {
+			b.Fatalf("leaders on %d node(s), placement %v", res.LeaderSpread, res.LeaderPlacement)
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/sec")
+		b.ReportMetric(res.FsyncsPerOp, "fsyncs/op")
+	}
+}
+
 func BenchmarkE15ReadFastPath(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"ooc/internal/msgnet"
 	"ooc/internal/trace"
 )
 
@@ -33,8 +34,10 @@ func main() {
 		rounds   = flag.Bool("rounds", true, "print the per-round table and latency percentiles")
 		nodes    = flag.Bool("nodes", true, "print the per-node summary table")
 		outcomes = flag.Bool("outcomes", true, "print the detector-outcome breakdown")
+		shards   = flag.Bool("shards", true, "print the per-mux-channel traffic table (multi-shard traces)")
 		node     = flag.Int("node", -1, "print one processor's full event timeline")
 		round    = flag.Int("round", -1, "print one round's events across all processors")
+		channel  = flag.String("channel", "", "print one mux channel's event timeline (e.g. shard/2)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,6 +68,9 @@ func main() {
 	if *nodes {
 		printNodes(w, tr)
 	}
+	if *shards {
+		printChannels(w, tr)
+	}
 	if *node >= 0 {
 		printTimeline(w, tr, func(ev trace.Event) bool { return ev.Node == *node },
 			fmt.Sprintf("timeline of node %d", *node))
@@ -73,6 +79,79 @@ func main() {
 		printTimeline(w, tr, func(ev trace.Event) bool { return ev.Round == *round },
 			fmt.Sprintf("events of round %d", *round))
 	}
+	if *channel != "" {
+		printTimeline(w, tr, func(ev trace.Event) bool {
+			ch, ok := channelOf(ev.Value)
+			return ok && ch == *channel
+		}, fmt.Sprintf("timeline of channel %s", *channel))
+	}
+}
+
+// channelOf reports the mux channel an event's payload traveled on, if
+// any. A live payload is still the mux wire wrapper, which ChannelOf
+// unwraps; a JSON-decoded trace carries its fmt.Sprint form,
+// "{<channel> <inner>}", so the first token is the channel name — taken
+// only when it contains a "/" (the channel-naming idiom, e.g. shard/3),
+// which no struct-field rendering starts with.
+func channelOf(v any) (string, bool) {
+	if ch, ok := msgnet.ChannelOf(v); ok {
+		return ch, true
+	}
+	s, ok := v.(string)
+	if !ok || !strings.HasPrefix(s, "{") {
+		return "", false
+	}
+	tok, _, found := strings.Cut(strings.TrimPrefix(s, "{"), " ")
+	if !found || !strings.Contains(tok, "/") {
+		return "", false
+	}
+	return tok, true
+}
+
+// printChannels renders the per-mux-channel traffic table — for a
+// multi-shard trace, one row per consensus group. Traces with no
+// channel-tagged traffic (single-group runs) print nothing.
+func printChannels(w io.Writer, tr trace.Trace) {
+	type tally struct {
+		sends, delivers, drops int
+		nodes                  map[int]bool
+	}
+	byChannel := map[string]*tally{}
+	for _, ev := range tr.Events {
+		ch, ok := channelOf(ev.Value)
+		if !ok {
+			continue
+		}
+		t := byChannel[ch]
+		if t == nil {
+			t = &tally{nodes: map[int]bool{}}
+			byChannel[ch] = t
+		}
+		t.nodes[ev.Node] = true
+		switch ev.Kind {
+		case trace.KindSend:
+			t.sends++
+		case trace.KindDeliver:
+			t.delivers++
+		case trace.KindDrop:
+			t.drops++
+		}
+	}
+	if len(byChannel) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byChannel))
+	for ch := range byChannel {
+		names = append(names, ch)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "mux channels (one consensus group per channel in a multi-shard trace)")
+	fmt.Fprintf(w, "  %-12s  %-6s  %-8s  %-6s  %s\n", "channel", "sends", "delivers", "drops", "nodes")
+	for _, ch := range names {
+		t := byChannel[ch]
+		fmt.Fprintf(w, "  %-12s  %-6d  %-8d  %-6d  %d\n", ch, t.sends, t.delivers, t.drops, len(t.nodes))
+	}
+	fmt.Fprintln(w)
 }
 
 // timed reports whether the trace carries wall-clock offsets (a plain

@@ -30,6 +30,7 @@ import (
 
 	"ooc/internal/bench"
 	"ooc/internal/metrics"
+	"ooc/internal/msgnet"
 	"ooc/internal/raft"
 	"ooc/internal/sim"
 	"ooc/internal/transport"
@@ -50,9 +51,11 @@ func main() {
 		readCons  = flag.String("read-consistency", "linearizable", "how get serves reads: linearizable | lease | stale (bench mode also accepts log)")
 		lease     = flag.Duration("lease", 0, "leader lease duration (0 disables; reads with -read-consistency lease skip the quorum round while it holds)")
 		readRatio = flag.Float64("read-ratio", 0, "bench mode: fraction of ops that are reads (0 = write-only E14 loop)")
+		shards    = flag.Int("shards", 1, "split the keyspace across this many independent Raft groups (demo and bench modes)")
 	)
 	flag.Parse()
 	transport.Register(raft.WireTypes()...)
+	transport.Register(msgnet.WireTypes()...) // multi-shard traffic rides the mux wrapper
 
 	readMode, err := raft.ParseReadConsistency(*readCons)
 	if err != nil {
@@ -73,12 +76,20 @@ func main() {
 	}
 
 	switch {
+	case *benchMode && *shards > 1:
+		err = runMultiShardBench(*n, *shards, *clients, *duration, *diskStore, *seed, *readRatio, readMode, *lease, reg)
 	case *benchMode:
 		err = runBench(*n, *clients, *duration, *diskStore, *seed, *readRatio, readMode, *lease, reg)
+	case *demo && *shards > 1:
+		err = runMultiShardDemo(*n, *shards, readMode, *lease, reg)
 	case *demo:
 		err = runDemo(*n, *lease, reg)
 	default:
-		err = runServer(*id, strings.Split(*peers, ","), readMode, *lease, reg)
+		if *shards > 1 {
+			err = fmt.Errorf("-shards applies to -demo and -bench; server mode runs one single-group node per process")
+		} else {
+			err = runServer(*id, strings.Split(*peers, ","), readMode, *lease, reg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)

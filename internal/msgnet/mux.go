@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"ooc/internal/metrics"
 )
 
 // Mux multiplexes several independent protocol instances over one
@@ -16,9 +18,14 @@ import (
 // Channels are matched by name across processors. Traffic arriving for a
 // channel that has not been created yet is buffered and handed over on
 // creation, so instances may start at different times on different
-// processors.
+// processors. The buffer is bounded per channel (WithBacklogLimit):
+// past the cap, the newest message for that channel is dropped and
+// counted, so a channel nobody ever creates — a misrouted tag, or a
+// shard group that failed to boot — cannot grow an unbounded queue.
 type Mux struct {
-	parent Endpoint
+	parent       Endpoint
+	backlogLimit int
+	dropped      *metrics.Counter
 
 	mu      sync.Mutex
 	subs    map[string]*subEndpoint
@@ -26,6 +33,37 @@ type Mux struct {
 	closed  bool
 	err     error
 	once    sync.Once
+}
+
+// MuxOption configures a Mux.
+type MuxOption func(*Mux)
+
+// DefaultBacklogLimit is the per-channel cap on messages buffered for a
+// channel that has not been created yet. Boot skew between processors
+// spans at most a few protocol rounds of traffic; 4096 covers that with
+// a wide margin while bounding a never-created channel's memory.
+const DefaultBacklogLimit = 4096
+
+// WithBacklogLimit overrides the per-channel backlog cap. Zero or
+// negative restores the default; there is deliberately no unbounded
+// setting.
+func WithBacklogLimit(n int) MuxOption {
+	return func(m *Mux) {
+		if n > 0 {
+			m.backlogLimit = n
+		}
+	}
+}
+
+// WithMuxMetrics counts backlog drops in reg as
+// mux_backlog_dropped_total, attributed to the parent endpoint's id. A
+// nil registry keeps the no-op counter.
+func WithMuxMetrics(reg *metrics.Registry) MuxOption {
+	return func(m *Mux) {
+		if reg != nil {
+			m.dropped = reg.Counter("mux_backlog_dropped_total")
+		}
+	}
 }
 
 // tagged is the wire wrapper. For the TCP transport, register it with
@@ -38,15 +76,31 @@ type tagged struct {
 // WireTypes lists the mux's wire wrapper for gob registration.
 func WireTypes() []any { return []any{tagged{}} }
 
+// ChannelOf reports the mux channel name a payload is tagged with. Trace
+// recorders sitting under the mux (netsim, transport) capture the wire
+// wrapper verbatim, so inspectors use this to group recorded traffic by
+// channel without knowing the wrapper type.
+func ChannelOf(payload any) (string, bool) {
+	t, ok := payload.(tagged)
+	if !ok {
+		return "", false
+	}
+	return t.Channel, true
+}
+
 // NewMux wraps parent and starts the dispatcher, which runs until ctx is
 // cancelled or the parent endpoint dies — give the Mux the same lifetime
 // as the node it serves. Once the dispatcher stops, every sub-endpoint's
 // Recv fails with the terminating error.
-func NewMux(ctx context.Context, parent Endpoint) *Mux {
+func NewMux(ctx context.Context, parent Endpoint, opts ...MuxOption) *Mux {
 	m := &Mux{
-		parent:  parent,
-		subs:    make(map[string]*subEndpoint),
-		backlog: make(map[string][]Message),
+		parent:       parent,
+		backlogLimit: DefaultBacklogLimit,
+		subs:         make(map[string]*subEndpoint),
+		backlog:      make(map[string][]Message),
+	}
+	for _, opt := range opts {
+		opt(m)
 	}
 	go m.dispatch(ctx)
 	return m
@@ -92,8 +146,14 @@ func (m *Mux) dispatch(ctx context.Context) {
 		s, ok := m.subs[tag.Channel]
 		if ok {
 			s.pending = append(s.pending, routed)
-		} else {
+		} else if len(m.backlog[tag.Channel]) < m.backlogLimit {
 			m.backlog[tag.Channel] = append(m.backlog[tag.Channel], routed)
+		} else {
+			// Over the cap: drop the newest. The protocols above the mux
+			// already tolerate message loss (Raft retransmits, the OOC
+			// protocols re-broadcast per round), so dropping beats letting
+			// a dead channel's queue grow without bound.
+			m.dropped.Inc(m.parent.ID())
 		}
 		m.mu.Unlock()
 		if ok {

@@ -9,9 +9,11 @@ import (
 
 	"ooc/internal/benor"
 	"ooc/internal/core"
+	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/netsim"
 	"ooc/internal/sim"
+	"ooc/internal/trace"
 )
 
 func ctxT(t *testing.T) context.Context {
@@ -176,4 +178,86 @@ func TestMuxWireTypes(t *testing.T) {
 	if got := len(msgnet.WireTypes()); got != 1 {
 		t.Fatalf("WireTypes() has %d entries", got)
 	}
+}
+
+// TestMuxBacklogBounded models multi-shard boot skew gone permanent: a
+// channel that is never created on the receiver must buffer at most the
+// backlog cap, counting the overflow as drops, and hand exactly the
+// buffered prefix over when the channel finally appears.
+func TestMuxBacklogBounded(t *testing.T) {
+	nw := netsim.New(2, netsim.WithFIFO())
+	ctx := ctxT(t)
+	reg := metrics.NewRegistry()
+	m0 := msgnet.NewMux(ctx, nw.Node(0))
+	m1 := msgnet.NewMux(ctx, nw.Node(1), msgnet.WithBacklogLimit(3), msgnet.WithMuxMetrics(reg))
+
+	const sent = 10
+	for i := 0; i < sent; i++ {
+		if err := m0.Channel("late").Send(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the receiver's dispatcher has routed everything: 3
+	// buffered + 7 dropped.
+	dropped := reg.Counter("mux_backlog_dropped_total")
+	deadline := time.Now().Add(5 * time.Second)
+	for dropped.Value() < sent-3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped = %d, want %d", dropped.Value(), sent-3)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sub := m1.Channel("late")
+	for i := 0; i < 3; i++ {
+		msg, err := sub.Recv(ctx)
+		if err != nil || msg.Payload != i {
+			t.Fatalf("recv %d: %v %v", i, msg, err)
+		}
+	}
+	if got := dropped.Value(); got != sent-3 {
+		t.Fatalf("dropped = %d, want %d", got, sent-3)
+	}
+	// Once the channel exists, delivery is no longer backlog-bounded.
+	for i := 0; i < sent; i++ {
+		if err := m0.Channel("late").Send(1, 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sent; i++ {
+		msg, err := sub.Recv(ctx)
+		if err != nil || msg.Payload != 100+i {
+			t.Fatalf("post-create recv %d: %v %v", i, msg, err)
+		}
+	}
+	if got := dropped.Value(); got != sent-3 {
+		t.Fatalf("post-create drops moved: %d", got)
+	}
+}
+
+func TestMuxChannelOf(t *testing.T) {
+	nw := netsim.New(2, netsim.WithFIFO())
+	ctx := ctxT(t)
+	rec := trace.NewRecorder()
+	nwT := netsim.New(2, netsim.WithFIFO(), netsim.WithRecorder(rec))
+	m := msgnet.NewMux(ctx, nwT.Node(0))
+	if err := m.Channel("shard/3").Send(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Snapshot()
+	found := false
+	for _, ev := range tr.Events {
+		if ch, ok := msgnet.ChannelOf(ev.Value); ok {
+			if ch != "shard/3" {
+				t.Fatalf("channel = %q", ch)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no recorded event carried the mux channel tag")
+	}
+	if _, ok := msgnet.ChannelOf("bare"); ok {
+		t.Fatal("untagged payload reported a channel")
+	}
+	_ = nw
 }

@@ -1,0 +1,73 @@
+package raft
+
+import (
+	"context"
+	"sync"
+)
+
+// appliedNotifier publishes the node's applied index to waiters outside
+// the main loop. The client's SubmitWait used to discover applies by
+// polling Status every backoff tick — each poll a channel round-trip
+// through the main loop, so a grid of closed-loop clients both
+// quantized its own latency to the poll period and stole main-loop
+// iterations from the commit pipeline it was waiting on. The notifier
+// replaces that with edge-triggered wakeups: the main loop calls
+// advance after each apply batch (one mutex acquisition and at most one
+// channel rotation), and waiters block on a closed-channel broadcast
+// without the main loop ever seeing them.
+type appliedNotifier struct {
+	mu  sync.Mutex
+	idx int
+	ch  chan struct{} // closed and rotated whenever idx advances
+}
+
+func newAppliedNotifier(idx int) *appliedNotifier {
+	return &appliedNotifier{idx: idx, ch: make(chan struct{})}
+}
+
+// advance publishes a new applied index and wakes all current waiters.
+// Called from the node's main loop only.
+func (a *appliedNotifier) advance(idx int) {
+	a.mu.Lock()
+	if idx > a.idx {
+		a.idx = idx
+		close(a.ch)
+		a.ch = make(chan struct{})
+	}
+	a.mu.Unlock()
+}
+
+// wait blocks until the published applied index reaches index, ctx
+// ends, or stop closes. It returns the last index it observed.
+func (a *appliedNotifier) wait(ctx context.Context, stop <-chan struct{}, index int) (int, error) {
+	for {
+		a.mu.Lock()
+		idx, ch := a.idx, a.ch
+		a.mu.Unlock()
+		if idx >= index {
+			return idx, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return idx, ctx.Err()
+		case <-stop:
+			return idx, ErrStopped
+		}
+	}
+}
+
+// AwaitApplied blocks until this node's state machine has applied the
+// log through index, returning the applied index it observed. It
+// returns early with an error when ctx ends or the node stops. Unlike
+// Status polling it wakes at the apply itself and costs the protocol
+// loop nothing.
+//
+// Reaching index says nothing about WHICH entry was applied there: an
+// entry can be truncated by a new leader and replaced at the same
+// index. Callers that submitted the entry (Client.SubmitWait) combine
+// this with a Status check for the truncation races, exactly as the
+// polling loop did.
+func (nd *Node) AwaitApplied(ctx context.Context, index int) (int, error) {
+	return nd.applied.wait(ctx, nd.stopped, index)
+}

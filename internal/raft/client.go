@@ -294,9 +294,17 @@ func (c *Client) get(id int, key string) (string, bool, error) {
 	return v, found, nil
 }
 
-// waitApplied polls node id until lastApplied covers index (true), or the
-// node's log no longer contains our proposal's term at that position
+// waitApplied blocks until node id's lastApplied covers index (true), or
+// the node's log no longer contains our proposal's term at that position
 // because a new leader truncated it (false → caller resubmits).
+//
+// Applies are observed through the node's applied notifier rather than
+// by polling Status every backoff tick: a Status call is a channel
+// round-trip through the node's main loop, so closed-loop clients both
+// quantized their latency to the poll period and stole loop iterations
+// from the commit pipeline. The Status checks remain — they decide the
+// truncation and stopped-node races the notifier can't — but now run
+// only after an apply edge or a coarse timeout instead of every tick.
 func (c *Client) waitApplied(ctx context.Context, id, index int) (bool, error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -313,6 +321,18 @@ func (c *Client) waitApplied(ctx context.Context, id, index int) (bool, error) {
 			// Stopped node (zero status); treat as lost.
 			return false, nil
 		}
-		c.clock.Sleep(c.backoff)
+		// Wake on the next apply edge; the timeout bounds how long a
+		// truncation (which applies nothing at our index) can stall us.
+		wctx, cancel := context.WithTimeout(ctx, 10*c.backoff)
+		_, err := c.nodes[id].AwaitApplied(wctx, index)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, ErrStopped) {
+				return false, nil
+			}
+			if ctx.Err() != nil {
+				return false, fmt.Errorf("raft: client: %w", ctx.Err())
+			}
+		}
 	}
 }

@@ -200,6 +200,10 @@ type Node struct {
 
 	subMu sync.Mutex
 	subs  []*Subscription
+
+	// applied publishes lastApplied to out-of-loop waiters (AwaitApplied);
+	// see applied.go.
+	applied *appliedNotifier
 }
 
 type outMsg struct {
@@ -267,6 +271,7 @@ func NewNode(cfg Config) (*Node, error) {
 			}
 		}
 	}
+	nd.applied = newAppliedNotifier(nd.hs.lastApplied)
 	return nd, nil
 }
 
@@ -1138,6 +1143,7 @@ func (nd *Node) onInstallSnapshot(from int, m InstallSnapshot) {
 	nd.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
 	nd.hs.commitIndex = m.LastIncludedIndex
 	nd.hs.lastApplied = m.LastIncludedIndex
+	nd.applied.advance(nd.hs.lastApplied)
 	nd.drainApplyWaits()
 	nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: m.LastIncludedIndex, Command: nil})
 	nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: m.LastIncludedIndex})
@@ -1214,6 +1220,7 @@ func (nd *Node) setCommitIndex(index int) {
 		nd.met.onApply()
 		nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: nd.hs.lastApplied, Command: e.Command})
 	}
+	nd.applied.advance(nd.hs.lastApplied)
 	nd.drainApplyWaits()
 	nd.dispatchEarlyReads()
 	nd.maybeCompact()

@@ -1,0 +1,61 @@
+package raft
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSlowDiskPassesThroughAndDelays checks that SlowDisk is a pure
+// decorator — every operation lands in the inner store unchanged — and
+// that durability barriers cost at least the modeled latency (Sleep
+// guarantees a minimum, so the bound is safe under load).
+func TestSlowDiskPassesThroughAndDelays(t *testing.T) {
+	const lat = 10 * time.Millisecond
+	inner := NewMemStorage()
+	sd := NewSlowDisk(inner, lat)
+	if sd.Inner() != Storage(inner) {
+		t.Fatalf("Inner() = %v, want the wrapped store", sd.Inner())
+	}
+
+	start := time.Now()
+	if err := sd.SetState(3, 1); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	if err := sd.TruncateAndAppend(0, []Entry{{Term: 3, Command: "a"}}); err != nil {
+		t.Fatalf("TruncateAndAppend: %v", err)
+	}
+	if err := sd.AppendBatch([]LogMutation{{PrevIndex: 1, Entries: []Entry{{Term: 3, Command: "b"}}}}); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 3*lat {
+		t.Fatalf("three barriers took %v, want >= %v", elapsed, 3*lat)
+	}
+
+	// Load pays no modeled latency and sees the writes.
+	start = time.Now()
+	st, err := sd.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= lat {
+		t.Fatalf("Load took %v, want < %v (no barrier on reads)", elapsed, lat)
+	}
+	if st.Term != 3 || st.VotedFor != 1 || len(st.Entries) != 2 {
+		t.Fatalf("Load = term %d vote %d entries %d, want 3/1/2", st.Term, st.VotedFor, len(st.Entries))
+	}
+}
+
+// TestSlowDiskZeroLatencyAddsNothing pins the no-op path: a zero floor
+// must not sleep (the wrapper may then be used unconditionally).
+func TestSlowDiskZeroLatencyAddsNothing(t *testing.T) {
+	sd := NewSlowDisk(NewMemStorage(), 0)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if err := sd.SetState(i, none); err != nil {
+			t.Fatalf("SetState: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("100 zero-latency barriers took %v", elapsed)
+	}
+}

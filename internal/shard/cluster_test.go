@@ -1,0 +1,303 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ooc/internal/metrics"
+	"ooc/internal/msgnet"
+	"ooc/internal/netsim"
+	"ooc/internal/raft"
+	"ooc/internal/shard"
+	"ooc/internal/sim"
+	"ooc/internal/workload"
+)
+
+// recordingSM wraps a KVStore and records the KV commands it applies, in
+// order. Term-opening Noop entries are deliberately not recorded: their
+// count depends on real-time election timing, while the client-command
+// sequence per shard is what determinism over a fixed seed promises.
+type recordingSM struct {
+	kv  raft.KVStore
+	mu  sync.Mutex
+	ops []string
+}
+
+func (r *recordingSM) Apply(index int, cmd any) {
+	r.kv.Apply(index, cmd)
+	if c, ok := cmd.(raft.KVCommand); ok {
+		r.mu.Lock()
+		r.ops = append(r.ops, fmt.Sprintf("%s %s=%s", c.Op, c.Key, c.Value))
+		r.mu.Unlock()
+	}
+}
+
+func (r *recordingSM) Get(key string) (string, bool) { return r.kv.Get(key) }
+
+func (r *recordingSM) Ops() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.ops...)
+}
+
+func endpoints(nw *netsim.Network, n int) []msgnet.Endpoint {
+	eps := make([]msgnet.Endpoint, n)
+	for i := range eps {
+		eps[i] = nw.Node(i)
+	}
+	return eps
+}
+
+const (
+	testElection  = 30 * time.Millisecond
+	testHeartbeat = 6 * time.Millisecond
+)
+
+// runSeeded boots nodes×shards, drives ops writes from one sequential
+// client, waits until every replica of every shard has applied all the
+// commands routed to it, and returns each (shard, node) replica's
+// recorded command sequence.
+func runSeeded(t *testing.T, seed uint64, nodes, shards, ops int) [][][]string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nw := netsim.New(nodes, netsim.WithSeed(seed), netsim.WithFIFO())
+	sms := make([][]*recordingSM, shards)
+	for s := range sms {
+		sms[s] = make([]*recordingSM, nodes)
+	}
+	c, err := shard.NewCluster(shard.Config{
+		Endpoints:         endpoints(nw, nodes),
+		Shards:            shards,
+		RNG:               sim.NewRNG(seed),
+		ElectionTimeout:   testElection,
+		HeartbeatInterval: testHeartbeat,
+		StateMachine: func(node, s int) raft.StateMachine {
+			sms[s][node] = &recordingSM{}
+			return sms[s][node]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForLeaders(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mix, err := workload.NewKVMix(workload.KVMixConfig{ReadRatio: 0, Keys: 200}, sim.NewRNG(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := make([]int, shards)
+	for i := 0; i < ops; i++ {
+		op := mix.Next()
+		s, _, err := c.Put(ctx, op.Key, op.Value)
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		routed[s]++
+	}
+	// Quiesce: followers lag the leader by replication only; wait until
+	// every replica has applied everything its shard committed.
+	deadline := time.Now().Add(30 * time.Second)
+	for s := 0; s < shards; s++ {
+		for id := 0; id < nodes; id++ {
+			for len(sms[s][id].Ops()) < routed[s] {
+				if time.Now().After(deadline) {
+					t.Fatalf("shard %d node %d applied %d of %d", s, id, len(sms[s][id].Ops()), routed[s])
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	out := make([][][]string, shards)
+	for s := range out {
+		out[s] = make([][]string, nodes)
+		for id := range out[s] {
+			out[s][id] = sms[s][id].Ops()
+		}
+	}
+	return out
+}
+
+// TestClusterDeterministicCommitSequences is the satellite's determinism
+// check: the same seed yields byte-identical per-shard commit sequences
+// across independent runs, and within one run every replica of a shard
+// applies exactly the same sequence (the replication invariant).
+func TestClusterDeterministicCommitSequences(t *testing.T) {
+	const nodes, shards, ops = 3, 4, 120
+	a := runSeeded(t, 42, nodes, shards, ops)
+	b := runSeeded(t, 42, nodes, shards, ops)
+	for s := 0; s < shards; s++ {
+		for id := 1; id < nodes; id++ {
+			if !reflect.DeepEqual(a[s][0], a[s][id]) {
+				t.Fatalf("run A shard %d: node %d diverged from node 0", s, id)
+			}
+		}
+		if !reflect.DeepEqual(a[s][0], b[s][0]) {
+			t.Fatalf("shard %d commit sequence differs across same-seed runs:\nA: %v\nB: %v", s, a[s][0], b[s][0])
+		}
+		if len(a[s][0]) == 0 {
+			t.Fatalf("shard %d committed nothing; router is funnelling", s)
+		}
+	}
+}
+
+// TestClusterLeaderPlacementSpread pins the boot placement: with more
+// shards than nodes, leadership lands on at least two distinct nodes
+// (the acceptance bar), normally all three.
+func TestClusterLeaderPlacementSpread(t *testing.T) {
+	const nodes, shards = 3, 4
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	nw := netsim.New(nodes, netsim.WithSeed(7), netsim.WithFIFO())
+	reg := metrics.NewRegistry()
+	c, err := shard.NewCluster(shard.Config{
+		Endpoints:         endpoints(nw, nodes),
+		Shards:            shards,
+		RNG:               sim.NewRNG(7),
+		ElectionTimeout:   testElection,
+		HeartbeatInterval: testHeartbeat,
+		Metrics:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForLeaders(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.LeaderSpread() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leader spread %d, placement %v", c.LeaderSpread(), c.LeaderPlacement())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The watcher table and the gauges tell the same story.
+	placement := c.LeaderPlacement()
+	for s, node := range placement {
+		if node < 0 {
+			t.Fatalf("shard %d has no recorded leader: %v", s, placement)
+		}
+		g := reg.Gauge(metrics.Label("shard_leader", "shard", fmt.Sprint(s)))
+		if got := int(g.Value()); got != node {
+			t.Fatalf("shard %d gauge says node %d, table says %d", s, got, node)
+		}
+	}
+}
+
+// TestClusterMultiShardSoak is the -race soak: concurrent clients drive
+// a mixed read/write workload across every shard, then the test checks
+// convergence (every replica of a shard holds the same data) and shard
+// isolation (replicas hold only keys their shard owns).
+func TestClusterMultiShardSoak(t *testing.T) {
+	const nodes, shards, clients, opsPerClient = 3, 4, 4, 60
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nw := netsim.New(nodes, netsim.WithSeed(11), netsim.WithFIFO())
+	sms := make([][]*raft.KVStore, shards)
+	for s := range sms {
+		sms[s] = make([]*raft.KVStore, nodes)
+	}
+	c, err := shard.NewCluster(shard.Config{
+		Endpoints:         endpoints(nw, nodes),
+		Shards:            shards,
+		RNG:               sim.NewRNG(11),
+		ElectionTimeout:   testElection,
+		HeartbeatInterval: testHeartbeat,
+		LeaseDuration:     testElection,
+		ReadMode:          raft.ReadLinearizable,
+		StateMachine: func(node, s int) raft.StateMachine {
+			sms[s][node] = &raft.KVStore{}
+			return sms[s][node]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForLeaders(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fam, err := workload.NewKVMixFamily(workload.KVMixConfig{ReadRatio: 0.3, Keys: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := sim.NewRNG(12)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			mix := fam.Instance(root.Stream('w', uint64(cl)))
+			for i := 0; i < opsPerClient; i++ {
+				op := mix.Next()
+				if op.Read {
+					if _, _, err := c.Get(ctx, op.Key); err != nil {
+						errs <- fmt.Errorf("client %d get: %w", cl, err)
+						return
+					}
+					continue
+				}
+				// Per-client value prefix keeps writes globally unique.
+				if _, _, err := c.Put(ctx, op.Key, fmt.Sprintf("c%d-%s", cl, op.Value)); err != nil {
+					errs <- fmt.Errorf("client %d put: %w", cl, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Convergence: every replica of a shard ends with identical contents.
+	desc := c.Descriptor()
+	deadline := time.Now().Add(30 * time.Second)
+	for s := 0; s < shards; s++ {
+		for {
+			if snapshotsAgree(sms[s]) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d replicas did not converge", s)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		// Isolation: a replica holds only keys its shard owns.
+		for id := 0; id < nodes; id++ {
+			for _, kv := range sms[s][id].Snapshot() {
+				key := kv[:len("k000000")]
+				if got := desc.ShardOf(key); got != s {
+					t.Fatalf("shard %d node %d holds key %q owned by shard %d", s, id, key, got)
+				}
+			}
+		}
+	}
+}
+
+func snapshotsAgree(stores []*raft.KVStore) bool {
+	want := stores[0].Snapshot()
+	for _, st := range stores[1:] {
+		if !reflect.DeepEqual(want, st.Snapshot()) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"context"
+
+	"ooc/internal/raft"
+)
+
+// Put routes a write to the key's owning group and blocks until it is
+// committed and applied there (raft.Client.SubmitWait semantics). It
+// returns the owning shard and the log index within that shard's group
+// — indexes are per-group sequences, not a global order; cross-shard
+// operations are independent, which is the entire point.
+func (c *Cluster) Put(ctx context.Context, key, value string) (shard, index int, err error) {
+	s := c.ShardOf(key)
+	c.met.puts[s].Inc(s)
+	idx, err := c.groups[s].Client.SubmitWait(ctx, raft.KVCommand{Op: "set", Key: key, Value: value})
+	return s, idx, err
+}
+
+// Delete routes a deletion to the key's owning group, with Put's
+// commit-and-apply semantics.
+func (c *Cluster) Delete(ctx context.Context, key string) (shard, index int, err error) {
+	s := c.ShardOf(key)
+	c.met.deletes[s].Inc(s)
+	idx, err := c.groups[s].Client.SubmitWait(ctx, raft.KVCommand{Op: "delete", Key: key})
+	return s, idx, err
+}
+
+// Get routes a read to the key's owning group using the cluster's
+// default read consistency. Each shard runs the single-group read fast
+// path independently: linearizable reads confirm leadership within the
+// owning group only, lease reads ride that group's leader lease.
+// Per-key reads therefore stay linearizable under sharding; what
+// multi-Raft gives up is a consistent snapshot across keys in different
+// shards (cross-shard transactions are out of scope, as in any
+// multi-Raft store without a distributed-txn layer on top).
+func (c *Cluster) Get(ctx context.Context, key string) (value string, found bool, err error) {
+	return c.GetWith(ctx, key, c.cfg.ReadMode)
+}
+
+// GetWith routes a read with an explicit consistency mode.
+func (c *Cluster) GetWith(ctx context.Context, key string, mode raft.ReadConsistency) (value string, found bool, err error) {
+	s := c.ShardOf(key)
+	c.met.gets[s].Inc(s)
+	return c.groups[s].Client.ReadWith(ctx, key, mode)
+}

@@ -1,0 +1,173 @@
+// Package shard composes many independent Raft groups into one
+// key-value service — the multi-Raft architecture production stores
+// (TiKV, CockroachDB) use to dissolve the single-leader throughput wall.
+// It is also the paper's object-oriented thesis at system scale: just as
+// one consensus decision decomposes into small objects, a keyspace-wide
+// service decomposes into many small consensus instances, each an
+// unmodified raft.Node, composed by a router instead of new protocol
+// code.
+//
+// The pieces:
+//
+//   - Descriptor maps keys to shards: a key hashes to one of a fixed
+//     number of slots, and contiguous slot ranges belong to shards. A
+//     fixed hash-split is the boot layout; because the map is ranges
+//     over slots (not a bare modulus), splitting a hot range into a new
+//     shard later is descriptor surgery, not a re-hash of the keyspace.
+//   - Cluster runs the groups: every processor multiplexes all of its
+//     groups' traffic over its one endpoint via msgnet.Mux
+//     channel-per-group, so S shards on N nodes cost N network
+//     endpoints, not S×N. Group leaders are spread across nodes by a
+//     deterministic placement hint at boot, re-checked on every leader
+//     change.
+//   - The KV front end (Put/Delete/Get on Cluster) routes each
+//     operation to the owning group's raft.Client, reusing the
+//     single-group read-consistency paths per shard.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultSlots is the size of the hash slot space keys map into. Slots
+// only bound how finely ranges can split (Redis Cluster ships 16384;
+// our simulated clusters are far smaller), so the default stays modest
+// to keep descriptors cheap to copy and encode.
+const DefaultSlots = 1024
+
+// Range assigns the slot interval [Start, End) to a shard.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Shard int `json:"shard"`
+}
+
+// Descriptor is the shard map: a slot count and an ordered list of
+// contiguous ranges covering [0, Slots). It is a value type — routing
+// reads it without locks, and reconfiguration (a future split/merge)
+// installs a whole new descriptor rather than mutating in place.
+type Descriptor struct {
+	Slots  int     `json:"slots"`
+	Ranges []Range `json:"ranges"`
+}
+
+// SplitEven builds the boot descriptor: slots divided into shards
+// near-equal contiguous ranges, shard i owning the i-th.
+func SplitEven(shards, slots int) Descriptor {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > slots {
+		shards = slots
+	}
+	d := Descriptor{Slots: slots, Ranges: make([]Range, 0, shards)}
+	start := 0
+	for s := 0; s < shards; s++ {
+		end := start + slots/shards
+		if s < slots%shards {
+			end++
+		}
+		d.Ranges = append(d.Ranges, Range{Start: start, End: end, Shard: s})
+		start = end
+	}
+	return d
+}
+
+// Validate checks the descriptor's invariants: sorted, non-empty,
+// contiguous ranges exactly covering [0, Slots).
+func (d Descriptor) Validate() error {
+	if d.Slots <= 0 {
+		return fmt.Errorf("shard: descriptor has %d slots", d.Slots)
+	}
+	if len(d.Ranges) == 0 {
+		return fmt.Errorf("shard: descriptor has no ranges")
+	}
+	next := 0
+	for i, r := range d.Ranges {
+		if r.Start != next {
+			return fmt.Errorf("shard: range %d starts at %d, want %d (gap or overlap)", i, r.Start, next)
+		}
+		if r.End <= r.Start {
+			return fmt.Errorf("shard: range %d is empty [%d, %d)", i, r.Start, r.End)
+		}
+		if r.Shard < 0 {
+			return fmt.Errorf("shard: range %d assigned to negative shard %d", i, r.Shard)
+		}
+		next = r.End
+	}
+	if next != d.Slots {
+		return fmt.Errorf("shard: ranges cover [0, %d), want [0, %d)", next, d.Slots)
+	}
+	return nil
+}
+
+// NumShards is one more than the largest shard id any range names.
+// With SplitEven layouts this equals the range count.
+func (d Descriptor) NumShards() int {
+	max := -1
+	for _, r := range d.Ranges {
+		if r.Shard > max {
+			max = r.Shard
+		}
+	}
+	return max + 1
+}
+
+// Slot hashes a key into the slot space (FNV-1a; stable across
+// processes and runs, so every router in a cluster agrees).
+func (d Descriptor) Slot(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(d.Slots))
+}
+
+// ShardOf routes a key: hash to a slot, then binary-search the range
+// that owns it.
+func (d Descriptor) ShardOf(key string) int {
+	return d.shardOfSlot(d.Slot(key))
+}
+
+func (d Descriptor) shardOfSlot(slot int) int {
+	i := sort.Search(len(d.Ranges), func(i int) bool { return d.Ranges[i].End > slot })
+	return d.Ranges[i].Shard
+}
+
+// Split carves the slot interval [at, End) out of the range owning at
+// and assigns it to newShard — the descriptor half of a range split.
+// The returned descriptor is a fresh value; the receiver is unchanged.
+// (Migrating the data and spinning up the new group under live traffic
+// is future work; the map format is ready for it.)
+func (d Descriptor) Split(at, newShard int) (Descriptor, error) {
+	if at <= 0 || at >= d.Slots {
+		return Descriptor{}, fmt.Errorf("shard: split at slot %d outside (0, %d)", at, d.Slots)
+	}
+	out := Descriptor{Slots: d.Slots, Ranges: make([]Range, 0, len(d.Ranges)+1)}
+	split := false
+	for _, r := range d.Ranges {
+		if at <= r.Start || at >= r.End {
+			out.Ranges = append(out.Ranges, r)
+			continue
+		}
+		split = true
+		out.Ranges = append(out.Ranges,
+			Range{Start: r.Start, End: at, Shard: r.Shard},
+			Range{Start: at, End: r.End, Shard: newShard})
+	}
+	if !split {
+		return Descriptor{}, fmt.Errorf("shard: slot %d is already a range boundary", at)
+	}
+	if err := out.Validate(); err != nil {
+		return Descriptor{}, err
+	}
+	return out, nil
+}
+
+// ChannelName is the mux channel a shard's group traffic rides on.
+// Inspectors (ooctrace -shards) parse the id back out of recorded wire
+// wrappers, so the format is part of the trace contract.
+func ChannelName(shard int) string { return fmt.Sprintf("shard/%d", shard) }

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSplitEvenCoversAndBalances(t *testing.T) {
+	for _, tc := range []struct{ shards, slots int }{
+		{1, 1024}, {2, 1024}, {4, 1024}, {8, 1024}, {3, 10}, {7, 100},
+	} {
+		d := SplitEven(tc.shards, tc.slots)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("SplitEven(%d, %d): %v", tc.shards, tc.slots, err)
+		}
+		if got := d.NumShards(); got != tc.shards {
+			t.Fatalf("SplitEven(%d, %d).NumShards() = %d", tc.shards, tc.slots, got)
+		}
+		min, max := tc.slots, 0
+		for _, r := range d.Ranges {
+			if w := r.End - r.Start; w < min {
+				min = w
+			} else if w > max {
+				max = w
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("SplitEven(%d, %d) range widths spread %d..%d", tc.shards, tc.slots, min, max)
+		}
+	}
+}
+
+func TestDescriptorValidateRejects(t *testing.T) {
+	bad := []Descriptor{
+		{Slots: 0},
+		{Slots: 10},
+		{Slots: 10, Ranges: []Range{{Start: 1, End: 10, Shard: 0}}},                          // gap at 0
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 4, End: 10}}},      // overlap
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 6, End: 10}}},      // gap
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 10, Shard: -1}}},                         // negative shard
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 0, Shard: 0}, {Start: 0, End: 10}}},      // empty range
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}}},                           // short cover
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 5, End: 11}}},      // over cover
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid descriptor accepted: %+v", i, d)
+		}
+	}
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	d := SplitEven(4, DefaultSlots)
+	d2 := SplitEven(4, DefaultSlots)
+	counts := make([]int, 4)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k%06d", i)
+		s := d.ShardOf(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("key %q routed to shard %d", k, s)
+		}
+		if s2 := d2.ShardOf(k); s2 != s {
+			t.Fatalf("routing unstable: %q → %d then %d", k, s, s2)
+		}
+		counts[s]++
+	}
+	// FNV over a dense key set should spread well; allow wide slack.
+	for s, c := range counts {
+		if c < 200 {
+			t.Fatalf("shard %d drew only %d of 2000 keys: %v", s, c, counts)
+		}
+	}
+}
+
+func TestDescriptorSplit(t *testing.T) {
+	d := SplitEven(2, 100) // shard 0: [0,50), shard 1: [50,100)
+	d2, err := d.Split(25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.NumShards(); got != 3 {
+		t.Fatalf("NumShards after split = %d", got)
+	}
+	for slot, want := range map[int]int{0: 0, 24: 0, 25: 2, 49: 2, 50: 1, 99: 1} {
+		if got := d2.shardOfSlot(slot); got != want {
+			t.Fatalf("slot %d → shard %d, want %d", slot, got, want)
+		}
+	}
+	// The receiver is unchanged (descriptors are values).
+	if got := d.shardOfSlot(30); got != 0 {
+		t.Fatalf("original descriptor mutated: slot 30 → %d", got)
+	}
+	// Split points on an existing boundary or outside the space fail.
+	if _, err := d.Split(50, 2); err == nil {
+		t.Fatal("boundary split accepted")
+	}
+	if _, err := d.Split(0, 2); err == nil {
+		t.Fatal("split at 0 accepted")
+	}
+	if _, err := d.Split(100, 2); err == nil {
+		t.Fatal("split at Slots accepted")
+	}
+}
+
+func TestChannelNameFormat(t *testing.T) {
+	// The trace inspector parses this format back; pin it.
+	if got := ChannelName(7); got != "shard/7" {
+		t.Fatalf("ChannelName(7) = %q", got)
+	}
+}

@@ -63,22 +63,24 @@ type KVMixConfig struct {
 	Theta float64
 }
 
-// KVMix generates a randomized read/write stream over a bounded
-// keyspace, deterministically from a sim.RNG — every client in a
-// benchmark forks its own stream (rng.Stream) and draws independently.
-// Not safe for concurrent use; give each goroutine its own KVMix.
-type KVMix struct {
+// KVMixFamily holds the shared, immutable tables a set of KVMix
+// generators draws from: the key strings and, for KeysZipfian, the
+// cumulative distribution. Building the zipfian CDF is O(Keys) with a
+// math.Pow per rank — for a multi-shard benchmark grid spawning
+// shards×clients generators over a large keyspace, paying that once
+// instead of per generator is the difference between instant and
+// seconds of setup. A family is safe for concurrent Instance calls; the
+// instances themselves are single-goroutine as before.
+type KVMixFamily struct {
 	cfg  KVMixConfig
-	rng  *sim.RNG
 	cdf  []float64 // cumulative Zipf mass per rank; nil for uniform
-	seq  int64     // distinct written values, for linearizability checking
 	keys []string  // precomputed key strings
 }
 
-// NewKVMix validates cfg, fills defaults, and precomputes the key table
-// (and, for KeysZipfian, the cumulative distribution — O(Keys) once,
-// O(log Keys) per draw).
-func NewKVMix(cfg KVMixConfig, rng *sim.RNG) (*KVMix, error) {
+// NewKVMixFamily validates cfg, fills defaults, and precomputes the key
+// table (and, for KeysZipfian, the CDF — O(Keys) once, O(log Keys) per
+// draw).
+func NewKVMixFamily(cfg KVMixConfig) (*KVMixFamily, error) {
 	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
 		return nil, fmt.Errorf("workload: read ratio %v outside [0, 1]", cfg.ReadRatio)
 	}
@@ -91,30 +93,104 @@ func NewKVMix(cfg KVMixConfig, rng *sim.RNG) (*KVMix, error) {
 	if cfg.Theta == 0 {
 		cfg.Theta = 0.99
 	}
-	m := &KVMix{cfg: cfg, rng: rng, keys: make([]string, cfg.Keys)}
-	for i := range m.keys {
-		m.keys[i] = fmt.Sprintf("k%06d", i)
+	f := &KVMixFamily{cfg: cfg, keys: make([]string, cfg.Keys)}
+	for i := range f.keys {
+		f.keys[i] = fmt.Sprintf("k%06d", i)
 	}
 	if cfg.Dist == KeysZipfian {
-		m.cdf = make([]float64, cfg.Keys)
+		f.cdf = make([]float64, cfg.Keys)
 		sum := 0.0
 		for i := 0; i < cfg.Keys; i++ {
 			sum += 1 / math.Pow(float64(i+1), cfg.Theta)
-			m.cdf[i] = sum
+			f.cdf[i] = sum
 		}
-		for i := range m.cdf {
-			m.cdf[i] /= sum
+		for i := range f.cdf {
+			f.cdf[i] /= sum
 		}
 	}
-	return m, nil
+	return f, nil
+}
+
+// Instance builds a generator drawing from the family's shared tables
+// with its own RNG stream. Values written by distinct instances are
+// distinguishable only per instance; callers that need global
+// uniqueness (linearizability checking) prefix values per client.
+func (f *KVMixFamily) Instance(rng *sim.RNG) *KVMix {
+	return &KVMix{fam: f, rng: rng}
+}
+
+// Keys returns the shared key table. Callers must not mutate it.
+func (f *KVMixFamily) Keys() []string { return f.keys }
+
+// ShardSpread is the key→shard distribution self-check: it maps every
+// key in the family's table through shardOf and returns how many keys
+// land on each of shards shards. Benchmarks assert the spread before
+// trusting a "per-shard throughput" number — a router bug that funnels
+// the keyspace onto one group would otherwise masquerade as a scaling
+// regression.
+func (f *KVMixFamily) ShardSpread(shards int, shardOf func(string) int) ([]int, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("workload: shard spread over %d shards", shards)
+	}
+	counts := make([]int, shards)
+	for _, k := range f.keys {
+		s := shardOf(k)
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("workload: key %q routed to shard %d of %d", k, s, shards)
+		}
+		counts[s]++
+	}
+	return counts, nil
+}
+
+// SpreadImbalance reduces a ShardSpread to max/mean — 1.0 is a perfect
+// split, 2.0 means the hottest shard owns twice its fair share.
+func SpreadImbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(counts)) / float64(total)
+}
+
+// KVMix generates a randomized read/write stream over a bounded
+// keyspace, deterministically from a sim.RNG — every client in a
+// benchmark forks its own stream (rng.Stream) and draws independently,
+// while the key table and zipfian CDF live once in the shared family.
+// Not safe for concurrent use; give each goroutine its own KVMix.
+type KVMix struct {
+	fam *KVMixFamily
+	rng *sim.RNG
+	seq int64 // distinct written values, for linearizability checking
+}
+
+// NewKVMix builds a single-instance family and returns its generator —
+// the one-client convenience constructor. Grids that spawn many
+// generators over one configuration build a NewKVMixFamily and call
+// Instance per client instead, sharing the precomputed tables.
+func NewKVMix(cfg KVMixConfig, rng *sim.RNG) (*KVMix, error) {
+	f, err := NewKVMixFamily(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Instance(rng), nil
 }
 
 // Next draws the next operation. Written values are globally unique per
 // KVMix ("v<n>"), so a linearizability checker can identify which write
 // a read observed.
 func (m *KVMix) Next() KVOp {
-	key := m.keys[m.drawKey()]
-	if m.rng.Float64() < m.cfg.ReadRatio {
+	key := m.fam.keys[m.drawKey()]
+	if m.rng.Float64() < m.fam.cfg.ReadRatio {
 		return KVOp{Read: true, Key: key}
 	}
 	m.seq++
@@ -123,15 +199,15 @@ func (m *KVMix) Next() KVOp {
 
 // drawKey samples a key rank from the configured distribution.
 func (m *KVMix) drawKey() int {
-	if m.cdf == nil {
-		return m.rng.Intn(m.cfg.Keys)
+	if m.fam.cdf == nil {
+		return m.rng.Intn(m.fam.cfg.Keys)
 	}
-	// Binary search the precomputed CDF: first rank with cdf ≥ u.
+	// Binary search the shared precomputed CDF: first rank with cdf ≥ u.
 	u := m.rng.Float64()
-	lo, hi := 0, len(m.cdf)-1
+	lo, hi := 0, len(m.fam.cdf)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if m.cdf[mid] < u {
+		if m.fam.cdf[mid] < u {
 			lo = mid + 1
 		} else {
 			hi = mid

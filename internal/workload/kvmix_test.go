@@ -86,3 +86,91 @@ func TestKVMixValidation(t *testing.T) {
 		t.Fatal("want error for unknown distribution")
 	}
 }
+
+// TestKVMixFamilySharesTables pins the satellite's contract: instances
+// of one family draw from the same key table and CDF, and a family
+// instance behaves identically to a standalone NewKVMix with the same
+// config and seed.
+func TestKVMixFamilySharesTables(t *testing.T) {
+	cfg := KVMixConfig{ReadRatio: 0.5, Keys: 512, Dist: KeysZipfian}
+	fam, err := NewKVMixFamily(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fam.Instance(sim.NewRNG(7))
+	b, err := NewKVMix(cfg, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if got, want := a.Next(), b.Next(); got != want {
+			t.Fatalf("op %d: family instance %v, standalone %v", i, got, want)
+		}
+	}
+	// Two instances with distinct streams draw independently but from
+	// the same keyspace.
+	c := fam.Instance(sim.NewRNG(8))
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[c.Next().Key] = true
+	}
+	for k := range seen {
+		found := false
+		for _, fk := range fam.Keys() {
+			if fk == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("instance drew key %q outside the family table", k)
+		}
+	}
+}
+
+// TestShardSpread checks the key→shard self-check helper itself: a
+// modular split is perfectly balanced, a constant router is maximally
+// imbalanced, and out-of-range routing is an error.
+func TestShardSpread(t *testing.T) {
+	fam, err := NewKVMixFamily(KVMixConfig{Keys: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod4 := func(k string) int {
+		n := 0
+		for _, c := range k {
+			n = n*31 + int(c)
+		}
+		if n < 0 {
+			n = -n
+		}
+		return n % 4
+	}
+	counts, err := fam.ShardSpread(4, mod4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("spread covers %d keys, want 1000", total)
+	}
+	if imb := SpreadImbalance(counts); imb > 1.5 {
+		t.Fatalf("hash spread imbalance %.2f over 1.5: %v", imb, counts)
+	}
+	hot, err := fam.ShardSpread(4, func(string) int { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := SpreadImbalance(hot); imb != 4.0 {
+		t.Fatalf("constant router imbalance = %.2f, want 4.0", imb)
+	}
+	if _, err := fam.ShardSpread(4, func(string) int { return 4 }); err == nil {
+		t.Fatal("out-of-range shard not rejected")
+	}
+	if _, err := fam.ShardSpread(0, mod4); err == nil {
+		t.Fatal("zero shards not rejected")
+	}
+}
