@@ -114,6 +114,7 @@ func channelOf(v any) (string, bool) {
 func printChannels(w io.Writer, tr trace.Trace) {
 	type tally struct {
 		sends, delivers, drops int
+		bytes                  int
 		nodes                  map[int]bool
 	}
 	byChannel := map[string]*tally{}
@@ -131,6 +132,7 @@ func printChannels(w io.Writer, tr trace.Trace) {
 		switch ev.Kind {
 		case trace.KindSend:
 			t.sends++
+			t.bytes += ev.Bytes
 		case trace.KindDeliver:
 			t.delivers++
 		case trace.KindDrop:
@@ -146,10 +148,10 @@ func printChannels(w io.Writer, tr trace.Trace) {
 	}
 	sort.Strings(names)
 	fmt.Fprintln(w, "mux channels (one consensus group per channel in a multi-shard trace)")
-	fmt.Fprintf(w, "  %-12s  %-6s  %-8s  %-6s  %s\n", "channel", "sends", "delivers", "drops", "nodes")
+	fmt.Fprintf(w, "  %-12s  %-6s  %-8s  %-6s  %-10s  %s\n", "channel", "sends", "delivers", "drops", "bytes", "nodes")
 	for _, ch := range names {
 		t := byChannel[ch]
-		fmt.Fprintf(w, "  %-12s  %-6d  %-8d  %-6d  %d\n", ch, t.sends, t.delivers, t.drops, len(t.nodes))
+		fmt.Fprintf(w, "  %-12s  %-6d  %-8d  %-6d  %-10d  %d\n", ch, t.sends, t.delivers, t.drops, t.bytes, len(t.nodes))
 	}
 	fmt.Fprintln(w)
 }

@@ -36,6 +36,12 @@ import (
 	"ooc/internal/transport"
 )
 
+// wireCodec is the TCP encoding selected by -codec; demo and server
+// modes pass it to every transport they open. Bench mode runs over the
+// in-memory simulator, which passes payloads by reference — the codec
+// reaches its numbers through the storage path there.
+var wireCodec transport.Codec
+
 func main() {
 	var (
 		demo      = flag.Bool("demo", false, "run an in-process demo cluster and exit")
@@ -52,6 +58,7 @@ func main() {
 		lease     = flag.Duration("lease", 0, "leader lease duration (0 disables; reads with -read-consistency lease skip the quorum round while it holds)")
 		readRatio = flag.Float64("read-ratio", 0, "bench mode: fraction of ops that are reads (0 = write-only E14 loop)")
 		shards    = flag.Int("shards", 1, "split the keyspace across this many independent Raft groups (demo and bench modes)")
+		codecName = flag.String("codec", "binary", "TCP wire encoding: binary (hand-rolled zero-alloc codec) | gob (compatibility oracle)")
 	)
 	flag.Parse()
 	transport.Register(raft.WireTypes()...)
@@ -60,6 +67,15 @@ func main() {
 	readMode, err := raft.ParseReadConsistency(*readCons)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raftkv: %v\n", err)
+		os.Exit(1)
+	}
+	switch *codecName {
+	case "binary":
+		wireCodec = transport.Binary
+	case "gob":
+		wireCodec = transport.Gob
+	default:
+		fmt.Fprintf(os.Stderr, "raftkv: unknown -codec %q (binary | gob)\n", *codecName)
 		os.Exit(1)
 	}
 
@@ -158,7 +174,7 @@ func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, l
 
 func runDemo(n int, lease time.Duration, reg *metrics.Registry) error {
 	fmt.Printf("starting %d-node raft kv cluster on loopback TCP...\n", n)
-	eps, err := transport.NewLocalCluster(n)
+	eps, err := transport.NewLocalCluster(n, transport.WithCodec(wireCodec), transport.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -277,7 +293,7 @@ func runServer(id int, peers []string, readMode raft.ReadConsistency, lease time
 	if readMode == raft.ReadLogCommand {
 		return fmt.Errorf("-read-consistency log is a benchmark baseline; server mode serves linearizable, lease, or stale")
 	}
-	ep, err := transport.Listen(id, peers)
+	ep, err := transport.Listen(id, peers, transport.WithCodec(wireCodec), transport.WithMetrics(reg))
 	if err != nil {
 		return err
 	}

@@ -69,7 +69,7 @@ func runMultiShardBench(n, shards, clients int, duration time.Duration, disk boo
 // comes back through the owning group's fast path.
 func runMultiShardDemo(n, shards int, readMode raft.ReadConsistency, lease time.Duration, reg *metrics.Registry) error {
 	fmt.Printf("starting %d-node / %d-shard raft kv cluster on loopback TCP...\n", n, shards)
-	eps, err := transport.NewLocalCluster(n)
+	eps, err := transport.NewLocalCluster(n, transport.WithCodec(wireCodec), transport.WithMetrics(reg))
 	if err != nil {
 		return err
 	}

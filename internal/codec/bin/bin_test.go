@@ -1,0 +1,112 @@
+package bin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var dst []byte
+	ints := []int64{0, 1, -1, 63, -64, 64, 300, -300, math.MaxInt64, math.MinInt64}
+	uints := []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64}
+	for _, v := range ints {
+		dst = AppendVarint(dst, v)
+	}
+	for _, v := range uints {
+		dst = AppendUvarint(dst, v)
+	}
+	dst = AppendBool(dst, true)
+	dst = AppendBool(dst, false)
+
+	r := NewReader(dst)
+	for _, want := range ints {
+		if got := r.Varint(); got != want {
+			t.Fatalf("Varint = %d, want %d", got, want)
+		}
+	}
+	for _, want := range uints {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("Uvarint = %d, want %d", got, want)
+		}
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if r.Err() != nil || r.Len() != 0 {
+		t.Fatalf("err=%v len=%d after clean decode", r.Err(), r.Len())
+	}
+}
+
+func TestRoundTripStringsAndBytes(t *testing.T) {
+	var dst []byte
+	dst = AppendString(dst, "")
+	dst = AppendString(dst, "hello")
+	dst = AppendBytes(dst, nil)
+	dst = AppendBytes(dst, []byte{})
+	dst = AppendBytes(dst, []byte{1, 2, 3})
+
+	r := NewReader(dst)
+	if got := r.String(); got != "" {
+		t.Fatalf("empty string decoded as %q", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("nil bytes decoded as %v", got)
+	}
+	if got := r.Bytes(); got == nil || len(got) != 0 {
+		t.Fatalf("empty bytes decoded as %v", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTruncatedAndOversizedInputs(t *testing.T) {
+	// A length prefix pointing past the end must error, not allocate.
+	huge := AppendUvarint(nil, 1<<40)
+	r := NewReader(huge)
+	if v := r.View(); v != nil || r.Err() == nil {
+		t.Fatalf("oversized length: view=%v err=%v", v, r.Err())
+	}
+
+	// Truncated varint.
+	r = NewReader([]byte{0x80})
+	if r.Uvarint(); r.Err() == nil {
+		t.Fatal("truncated uvarint did not error")
+	}
+
+	// Sticky error: later reads keep failing and return zero values.
+	if got := r.Int(); got != 0 {
+		t.Fatalf("read after error = %d", got)
+	}
+	if r.Byte() != 0 || r.Bool() || r.String() != "" || r.Bytes() != nil {
+		t.Fatal("sticky error not sticky")
+	}
+
+	// Empty input.
+	r = NewReader(nil)
+	if r.Byte(); r.Err() == nil {
+		t.Fatal("read from empty input did not error")
+	}
+}
+
+func TestAppendZeroAlloc(t *testing.T) {
+	dst := make([]byte, 0, 256)
+	n := testing.AllocsPerRun(100, func() {
+		dst = dst[:0]
+		dst = AppendVarint(dst, -12345)
+		dst = AppendUvarint(dst, 99999)
+		dst = AppendString(dst, "steady-state")
+		dst = AppendBytes(dst, []byte{9, 9, 9})
+		dst = AppendBool(dst, true)
+	})
+	if n != 0 {
+		t.Fatalf("append path allocates %.1f/op; want 0", n)
+	}
+}

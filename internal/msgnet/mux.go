@@ -66,22 +66,23 @@ func WithMuxMetrics(reg *metrics.Registry) MuxOption {
 	}
 }
 
-// tagged is the wire wrapper. For the TCP transport, register it with
-// transport.Register(msgnet.WireTypes()...).
-type tagged struct {
+// Tagged is the wire wrapper. For the TCP transport, register it with
+// transport.Register(msgnet.WireTypes()...); the binary codec
+// (internal/codec) encodes it natively, recursing on the payload.
+type Tagged struct {
 	Channel string
 	Payload any
 }
 
 // WireTypes lists the mux's wire wrapper for gob registration.
-func WireTypes() []any { return []any{tagged{}} }
+func WireTypes() []any { return []any{Tagged{}} }
 
 // ChannelOf reports the mux channel name a payload is tagged with. Trace
 // recorders sitting under the mux (netsim, transport) capture the wire
 // wrapper verbatim, so inspectors use this to group recorded traffic by
 // channel without knowing the wrapper type.
 func ChannelOf(payload any) (string, bool) {
-	t, ok := payload.(tagged)
+	t, ok := payload.(Tagged)
 	if !ok {
 		return "", false
 	}
@@ -133,7 +134,7 @@ func (m *Mux) dispatch(ctx context.Context) {
 			m.fail(err)
 			return
 		}
-		tag, ok := msg.Payload.(tagged)
+		tag, ok := msg.Payload.(Tagged)
 		if !ok {
 			continue // foreign traffic on the parent endpoint
 		}
@@ -204,7 +205,7 @@ func (s *subEndpoint) N() int { return s.mux.parent.N() }
 
 // Send implements Endpoint.
 func (s *subEndpoint) Send(to int, payload any) error {
-	if err := s.mux.parent.Send(to, tagged{Channel: s.channel, Payload: payload}); err != nil {
+	if err := s.mux.parent.Send(to, Tagged{Channel: s.channel, Payload: payload}); err != nil {
 		return fmt.Errorf("mux channel %q: %w", s.channel, err)
 	}
 	return nil
@@ -212,7 +213,7 @@ func (s *subEndpoint) Send(to int, payload any) error {
 
 // Broadcast implements Endpoint.
 func (s *subEndpoint) Broadcast(payload any) error {
-	if err := s.mux.parent.Broadcast(tagged{Channel: s.channel, Payload: payload}); err != nil {
+	if err := s.mux.parent.Broadcast(Tagged{Channel: s.channel, Payload: payload}); err != nil {
 		return fmt.Errorf("mux channel %q: %w", s.channel, err)
 	}
 	return nil

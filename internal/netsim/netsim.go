@@ -506,6 +506,10 @@ func approxSize(payload any) int {
 		return len(v)
 	case []byte:
 		return len(v)
+	case msgnet.Tagged:
+		// Mux traffic: the wrapper costs its channel tag plus whatever
+		// it wraps, so per-channel accounting sees through the envelope.
+		return len(v.Channel) + approxSize(v.Payload)
 	default:
 		if t := reflect.TypeOf(payload); t != nil {
 			return int(t.Size())

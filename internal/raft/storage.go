@@ -2,9 +2,7 @@ package raft
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -12,6 +10,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"ooc/internal/codec/bin"
 )
 
 // Storage persists the Raft state that must survive a crash: currentTerm,
@@ -207,36 +207,47 @@ const (
 // length followed by a uint32 CRC-32 (IEEE) of the payload.
 const frameHeaderSize = 8
 
+// recordVersion is the version byte leading every record payload, so the
+// on-disk layout can evolve: a decoder accepts versions it knows and
+// rejects the rest, and additive changes append fields under a bumped
+// version rather than silently shifting offsets (DESIGN.md §3.5).
+const recordVersion = 1
+
 // FileStorage is an append-only on-disk store: every state change is a
-// framed gob record appended to the file, and Load replays the records.
-// Each record is its own frame — [len][crc32][gob payload] — so Load can
-// tell a torn final record (incomplete frame: dropped, and the file is
-// truncated back to the last complete record so later appends land on a
-// clean tail) from interior corruption (a complete frame whose checksum
-// or decode fails: surfaced as an error rather than silently swallowed).
+// framed binary record appended to the file, and Load replays the
+// records. Each record is its own frame — [len][crc32][version][codec
+// payload] — so Load can tell a torn final record (incomplete frame:
+// dropped, and the file is truncated back to the last complete record so
+// later appends land on a clean tail) from interior corruption (a
+// complete frame whose checksum or decode fails: surfaced as an error
+// rather than silently swallowed).
 //
-// Writes are coalesced through a buffered writer: a single record costs
-// one flush and one Sync, and AppendBatch amortizes that Sync over the
-// whole batch — the group-commit path the leader's proposal coalescing
-// feeds.
+// Records are hand-rolled varint encodings (see wirecodec.go), built in
+// a scratch buffer the store reuses across appends — the gob layout this
+// replaced paid a fresh encoder, its type metadata, and ~25 heap
+// allocations per fsync'd frame. Writes are coalesced through a buffered
+// writer: a single record costs one flush and one Sync, and AppendBatch
+// amortizes that Sync over the whole batch — the group-commit path the
+// leader's proposal coalescing feeds.
 type FileStorage struct {
 	path    string
 	f       *os.File
 	w       *bufio.Writer
-	scratch bytes.Buffer
+	scratch []byte
 	syncs   atomic.Int64
 }
 
 var _ Storage = (*FileStorage)(nil)
 
 // OpenFileStorage opens (or creates) the store at path. Entry commands
-// must be gob-registered (see transport.Register / raft.WireTypes).
+// of types the binary codec does not know natively must be
+// gob-registered (see transport.Register / raft.WireTypes).
 func OpenFileStorage(path string) (*FileStorage, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("raft: open storage: %w", err)
 	}
-	return &FileStorage{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &FileStorage{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16), scratch: make([]byte, 0, 4096)}, nil
 }
 
 // Close flushes buffered records and releases the file handle.
@@ -254,14 +265,16 @@ func (s *FileStorage) Close() error {
 func (s *FileStorage) Syncs() int64 { return s.syncs.Load() }
 
 // encodeRecord appends one framed record to the buffered writer without
-// flushing. Each record is gob-encoded with a fresh encoder so frames are
-// self-contained and Load can validate them independently.
+// flushing. The payload — [version][kind][varint fields] — is built in
+// the store's reusable scratch buffer, so a steady-state append performs
+// no heap allocation; each frame is self-contained (its own length and
+// checksum) so Load can validate records independently.
 func (s *FileStorage) encodeRecord(r record) error {
-	s.scratch.Reset()
-	if err := gob.NewEncoder(&s.scratch).Encode(r); err != nil {
+	payload, err := appendRecord(s.scratch[:0], r)
+	if err != nil {
 		return fmt.Errorf("raft: persist: %w", err)
 	}
-	payload := s.scratch.Bytes()
+	s.scratch = payload // keep any growth for the next record
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -272,6 +285,63 @@ func (s *FileStorage) encodeRecord(r record) error {
 		return fmt.Errorf("raft: persist: %w", err)
 	}
 	return nil
+}
+
+// appendRecord appends the binary payload of one record: the version
+// byte, the kind, then the kind's fields in varint form.
+func appendRecord(dst []byte, r record) ([]byte, error) {
+	dst = append(dst, recordVersion, byte(r.Kind))
+	switch r.Kind {
+	case recordState:
+		dst = bin.AppendInt(dst, r.Term)
+		return bin.AppendInt(dst, r.VotedFor), nil
+	case recordLog:
+		dst = bin.AppendInt(dst, r.PrevIndex)
+		return appendEntries(dst, r.Entries)
+	case recordSnapshot:
+		dst = bin.AppendInt(dst, r.SnapIndex)
+		dst = bin.AppendInt(dst, r.SnapTerm)
+		return bin.AppendBytes(dst, r.SnapData), nil
+	default:
+		return dst, fmt.Errorf("unknown record kind %d", r.Kind)
+	}
+}
+
+// decodeRecord parses an appendRecord payload. dec amortizes entry and
+// command allocations across the replay.
+func decodeRecord(payload []byte, dec *EntryDecoder) (record, error) {
+	r := bin.NewReader(payload)
+	if v := r.Byte(); v != recordVersion {
+		if r.Err() == nil {
+			return record{}, fmt.Errorf("unsupported record version %d", v)
+		}
+		return record{}, r.Err()
+	}
+	rec := record{Kind: recordKind(r.Byte())}
+	switch rec.Kind {
+	case recordState:
+		rec.Term = r.Int()
+		rec.VotedFor = r.Int()
+	case recordLog:
+		rec.PrevIndex = r.Int()
+		var err error
+		rec.Entries, err = dec.ReadEntries(r, nil)
+		if err != nil {
+			return record{}, err
+		}
+	case recordSnapshot:
+		rec.SnapIndex = r.Int()
+		rec.SnapTerm = r.Int()
+		rec.SnapData = r.Bytes()
+	default:
+		if r.Err() == nil {
+			return record{}, fmt.Errorf("unknown record kind %d", rec.Kind)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return record{}, err
+	}
+	return rec, nil
 }
 
 // flush pushes buffered frames to the kernel and issues the durability
@@ -344,6 +414,7 @@ func (s *FileStorage) Load() (PersistentState, error) {
 	defer func() { _ = f.Close() }()
 	br := bufio.NewReaderSize(f, 1<<16)
 	st := PersistentState{VotedFor: none}
+	var dec EntryDecoder
 	var valid int64 // offset just past the last fully-applied record
 	var hdr [frameHeaderSize]byte
 	payload := []byte(nil)
@@ -372,8 +443,8 @@ func (s *FileStorage) Load() (PersistentState, error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return st, fmt.Errorf("%w %d: checksum mismatch", errCorrupt, recNo)
 		}
-		var r record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+		r, err := decodeRecord(payload, &dec)
+		if err != nil {
 			return st, fmt.Errorf("%w %d: %v", errCorrupt, recNo, err)
 		}
 		switch r.Kind {

@@ -1,0 +1,172 @@
+package raft
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The regression benchmarks in this file pin the storage-codec win from
+// the gob removal. gobEncodeRecord replicates the old FileStorage.append
+// encode path exactly — a fresh gob.Encoder per record, which re-emits
+// type metadata and re-walks the any-typed commands every time — so the
+// comparison stays honest even now that the production path no longer
+// uses gob.
+
+func gobEncodeRecord(scratch *bytes.Buffer, w *bufio.Writer, r record) error {
+	scratch.Reset()
+	if err := gob.NewEncoder(scratch).Encode(r); err != nil {
+		return err
+	}
+	payload := scratch.Bytes()
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func benchEntries(n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Term: 3, Command: KVCommand{
+			Op:    "set",
+			Key:   fmt.Sprintf("key-%03d", i%16),
+			Value: "value-payload-0123456789",
+		}}
+	}
+	return es
+}
+
+// BenchmarkRecordEncode compares pure encode cost (no I/O) for a log
+// record with 1/8/64 entries. The codec path must report 0 allocs/op.
+func BenchmarkRecordEncode(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		es := benchEntries(n)
+		rec := record{Kind: recordLog, PrevIndex: 41, Entries: es}
+
+		b.Run(fmt.Sprintf("codec/entries=%d", n), func(b *testing.B) {
+			scratch := make([]byte, 0, 1<<16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				scratch, err = appendRecord(scratch[:0], rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(scratch)))
+		})
+
+		b.Run(fmt.Sprintf("gob/entries=%d", n), func(b *testing.B) {
+			var scratch bytes.Buffer
+			w := bufio.NewWriterSize(discardWriter{}, 1<<16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := gobEncodeRecord(&scratch, w, rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(scratch.Len()))
+		})
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkFileStorageAppend measures durable records/sec end to end —
+// encode, buffered write, and fsync — for both encodings, appending a
+// 1-entry log record per op the way a leader persists an un-batched
+// proposal. fsync dominates wall time on most filesystems; the codec's
+// win here is the removed per-record allocations and the ~7x smaller
+// frame, which show in allocs/op and throughput under load.
+func BenchmarkFileStorageAppend(b *testing.B) {
+	es := benchEntries(1)
+
+	b.Run("codec", func(b *testing.B) {
+		s, err := OpenFileStorage(filepath.Join(b.TempDir(), "wal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = s.Close() }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.TruncateAndAppend(i, es); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("gob", func(b *testing.B) {
+		f, err := os.OpenFile(filepath.Join(b.TempDir(), "wal"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		w := bufio.NewWriterSize(f, 1<<16)
+		var scratch bytes.Buffer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := record{Kind: recordLog, PrevIndex: i, Entries: es}
+			if err := gobEncodeRecord(&scratch, w, rec); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestRecordEncodeZeroAlloc is the acceptance gate for the disk layer:
+// a warmed scratch buffer means appending a steady-state log record
+// performs no heap allocation at all.
+func TestRecordEncodeZeroAlloc(t *testing.T) {
+	rec := record{Kind: recordLog, PrevIndex: 7, Entries: benchEntries(8)}
+	scratch := make([]byte, 0, 1<<16)
+	var err error
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch, err = appendRecord(scratch[:0], rec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("record encode allocates %.1f/op; want 0", allocs)
+	}
+}
+
+// TestRecordCodecSmallerThanGob pins the size win: the binary frame for
+// a typical 1-entry log record must be well under half the gob frame.
+func TestRecordCodecSmallerThanGob(t *testing.T) {
+	rec := record{Kind: recordLog, PrevIndex: 41, Entries: benchEntries(1)}
+	bin, err := appendRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(bin)*2 >= buf.Len() {
+		t.Fatalf("codec record %dB not <50%% of gob record %dB", len(bin), buf.Len())
+	}
+}

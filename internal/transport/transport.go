@@ -1,8 +1,9 @@
 // Package transport is a real TCP implementation of msgnet.Endpoint:
-// length-delimited gob streams over persistent connections, one process
-// per protocol node. It lets every protocol in this repository — Ben-Or,
-// Raft, the VAC compositions — run across actual sockets rather than the
-// in-memory simulator, with identical protocol code.
+// length-delimited binary-codec streams (internal/codec) over persistent
+// connections, one process per protocol node. It lets every protocol in
+// this repository — Ben-Or, Raft, the VAC compositions — run across
+// actual sockets rather than the in-memory simulator, with identical
+// protocol code.
 //
 // Delivery semantics match the asynchronous model the protocols assume:
 // Send is best-effort (a broken connection drops the message and triggers
@@ -10,24 +11,37 @@
 // guaranteed, and duplication does not occur. Raft's retries and Ben-Or's
 // quorum waits tolerate exactly this.
 //
-// Payload types must be registered with Register before use, on both
-// sides (gob requirement).
+// Two wire codecs are available (WithCodec): the default hand-rolled
+// binary format, which encodes the known message set with zero
+// steady-state allocations, and the original gob streams, kept as a
+// compatibility path and as the differential-testing oracle. Each
+// connection declares its codec in a one-byte preamble, so a receiver
+// decodes whatever its peer sends regardless of its own setting.
+//
+// Payload types outside the codec's native set must be registered with
+// Register before use, on both sides (they travel as gob either way).
 package transport
 
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
+	"ooc/internal/codec"
+	"ooc/internal/codec/bin"
+	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/trace"
 )
 
-// envelope is the wire record.
+// envelope is the gob wire record (the binary codec carries the sender
+// id in the connection preamble instead, since it never changes).
 type envelope struct {
 	From    int
 	Payload any
@@ -35,18 +49,66 @@ type envelope struct {
 
 // Register makes a payload type encodable; call it once per concrete
 // type before any Send (e.g. for Raft: Register(raft.WireTypes()...)).
+// The binary codec needs this only for types outside its native set,
+// but registering everything is harmless and keeps the gob path usable.
 func Register(values ...any) {
 	for _, v := range values {
 		gob.Register(v)
 	}
 }
 
+// Codec selects the wire encoding for outbound connections.
+type Codec int
+
+const (
+	// Binary is the hand-rolled zero-allocation format (internal/codec).
+	Binary Codec = iota
+	// Gob is the original encoding/gob stream — slower and allocation
+	// heavy, kept as the compatibility path and differential oracle.
+	Gob
+)
+
+// Connection preamble bytes; the dialer sends one so the receiver knows
+// how to decode the stream.
+const (
+	preambleBinary = 'B'
+	preambleGob    = 'G'
+)
+
+// maxFrame caps an inbound binary frame. Snapshot transfers dominate
+// frame size; anything beyond this is a corrupt length prefix, not a
+// message, and the connection is dropped rather than the allocation
+// attempted.
+const maxFrame = 1 << 28
+
 // Option configures a Transport.
 type Option func(*Transport)
 
-// WithRecorder attaches a trace recorder.
+// WithRecorder attaches a trace recorder. Binary-codec sends record
+// their exact framed byte count; gob sends record zero (the stream
+// encoder gives no per-message size without double buffering).
 func WithRecorder(rec *trace.Recorder) Option {
 	return func(tr *Transport) { tr.rec = rec }
+}
+
+// WithCodec selects the wire encoding for connections this transport
+// dials. The default is Binary; pass Gob to restore the original
+// encoding (e.g. to differential-test the codec against its oracle).
+func WithCodec(c Codec) Option {
+	return func(tr *Transport) { tr.codec = c }
+}
+
+// WithMetrics counts encoded and decoded wire bytes in reg as
+// codec_encode_bytes_total / codec_decode_bytes_total, attributed to
+// this transport's node id. Only binary-codec traffic is counted — the
+// counters measure the codec, and the gob path predates them.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(tr *Transport) {
+		if reg != nil {
+			tr.encBytes = reg.Counter("codec_encode_bytes_total")
+			tr.decBytes = reg.Counter("codec_decode_bytes_total")
+		}
+	}
 }
 
 // Transport is one node's TCP endpoint.
@@ -55,6 +117,10 @@ type Transport struct {
 	addrs []string
 	ln    net.Listener
 	rec   *trace.Recorder
+	codec Codec
+
+	encBytes *metrics.Counter
+	decBytes *metrics.Counter
 
 	mu      sync.Mutex
 	conns   map[int]*outConn
@@ -66,14 +132,17 @@ type Transport struct {
 	wg sync.WaitGroup
 }
 
-// outConn is one buffered outbound stream: the encoder writes into bw,
-// and each Send flushes after encoding — so a message still leaves in
-// one syscall instead of the several small writes gob produces, and
-// Broadcast can batch its per-peer copies into a single flush each.
+// outConn is one buffered outbound stream. Binary connections build
+// each frame in the reusable scratch buffer and write it length-prefixed
+// into bw; gob connections keep a long-lived stream encoder. Either way
+// each Send flushes after encoding — so a message still leaves in one
+// syscall — and Broadcast batches its per-peer copies into a single
+// flush each.
 type outConn struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *gob.Encoder
+	conn    net.Conn
+	bw      *bufio.Writer
+	enc     *gob.Encoder // gob codec only
+	scratch []byte       // binary codec only; reused frame buffer
 }
 
 // outBufSize is the per-peer write buffer. Large enough to hold a
@@ -170,14 +239,16 @@ func (tr *Transport) send(to int, payload any, flush bool) error {
 		tr.rec.Send(tr.id, to, 0, 0, payload)
 		return nil
 	}
+	var wire int
 	oc, err := tr.connLocked(to)
 	if err == nil {
-		err = oc.enc.Encode(envelope{From: tr.id, Payload: payload})
+		wire, err = tr.encodeLocked(oc, payload)
 		if err == nil && flush {
 			err = oc.bw.Flush()
 		}
 		if err != nil {
-			// Broken pipe: drop the connection; the next send redials.
+			// Broken pipe or unencodable payload: drop the connection;
+			// the next send redials with a fresh stream.
 			_ = oc.conn.Close()
 			delete(tr.conns, to)
 		}
@@ -189,15 +260,41 @@ func (tr *Transport) send(to int, payload any, flush bool) error {
 		// simulator's drops. The caller cannot act on it anyway.
 		return nil //nolint:nilerr // deliberate: async send never fails on remote errors
 	}
-	tr.rec.Send(tr.id, to, 0, 0, payload)
+	if wire > 0 {
+		tr.encBytes.Add(tr.id, int64(wire))
+	}
+	tr.rec.Send(tr.id, to, 0, wire, payload)
 	return nil
+}
+
+// encodeLocked writes one message into oc's buffered writer and reports
+// the framed byte count (zero on the gob path, which has no per-message
+// size without double buffering). Caller holds tr.mu.
+func (tr *Transport) encodeLocked(oc *outConn, payload any) (int, error) {
+	if oc.enc != nil {
+		return 0, oc.enc.Encode(envelope{From: tr.id, Payload: payload})
+	}
+	frame, err := codec.Append(oc.scratch[:0], payload)
+	oc.scratch = frame[:0] // keep growth for the next frame
+	if err != nil {
+		return 0, err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+	if _, err := oc.bw.Write(hdr[:n]); err != nil {
+		return 0, err
+	}
+	if _, err := oc.bw.Write(frame); err != nil {
+		return 0, err
+	}
+	return n + len(frame), nil
 }
 
 // Broadcast implements msgnet.Endpoint. Each peer's copy is encoded into
 // its write buffer first and the buffers are flushed once per peer at
 // the end, so an n-way broadcast costs one syscall per peer rather than
-// one per gob fragment. A copy that dies at flush time is a silent drop,
-// same as any remote loss.
+// one per encoded fragment. A copy that dies at flush time is a silent
+// drop, same as any remote loss.
 func (tr *Transport) Broadcast(payload any) error {
 	for to := range tr.addrs {
 		if err := tr.send(to, payload, false); err != nil {
@@ -290,6 +387,8 @@ func (tr *Transport) deliver(m msgnet.Message) {
 }
 
 // connLocked returns the outbound connection to peer, dialing if needed.
+// A fresh connection's codec preamble is buffered ahead of the first
+// message, so it costs no extra syscall.
 func (tr *Transport) connLocked(to int) (*outConn, error) {
 	if oc, ok := tr.conns[to]; ok {
 		return oc, nil
@@ -299,7 +398,18 @@ func (tr *Transport) connLocked(to int) (*outConn, error) {
 		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, tr.addrs[to], err)
 	}
 	bw := bufio.NewWriterSize(conn, outBufSize)
-	oc := &outConn{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+	oc := &outConn{conn: conn, bw: bw}
+	if tr.codec == Gob {
+		_ = bw.WriteByte(preambleGob)
+		oc.enc = gob.NewEncoder(bw)
+	} else {
+		_ = bw.WriteByte(preambleBinary)
+		// The sender id never changes on a connection, so it rides in
+		// the preamble rather than in every frame.
+		hdr := bin.AppendVarint(nil, int64(tr.id))
+		_, _ = bw.Write(hdr)
+		oc.scratch = make([]byte, 0, 4096)
+	}
 	tr.conns[to] = oc
 	return oc, nil
 }
@@ -333,6 +443,10 @@ func (tr *Transport) acceptLoop() {
 	}
 }
 
+// readLoop decodes one inbound connection until it dies. The peer's
+// preamble byte selects the decoder, so a binary transport understands a
+// gob peer and vice versa — the codecs interoperate during a rollout or
+// a differential test.
 func (tr *Transport) readLoop(conn net.Conn) {
 	defer tr.wg.Done()
 	defer func() {
@@ -341,12 +455,60 @@ func (tr *Transport) readLoop(conn net.Conn) {
 		delete(tr.inbound, conn)
 		tr.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, outBufSize)
+	switch pre, err := br.ReadByte(); {
+	case err != nil:
+		return
+	case pre == preambleGob:
+		tr.readGob(br)
+	case pre == preambleBinary:
+		tr.readBinary(br)
+	default:
+		// Unknown preamble: a foreign client or protocol mismatch.
+		return
+	}
+}
+
+func (tr *Transport) readGob(br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
 		tr.deliver(msgnet.Message{From: env.From, To: tr.id, Payload: env.Payload})
+	}
+}
+
+func (tr *Transport) readBinary(br *bufio.Reader) {
+	from64, err := binary.ReadVarint(br)
+	if err != nil {
+		return
+	}
+	from := int(from64)
+	var dec codec.Decoder
+	var buf []byte
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxFrame {
+			return
+		}
+		if int(n) > cap(buf) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		payload, err := dec.Decode(buf)
+		if err != nil {
+			// A frame that fails to decode poisons the stream offset no
+			// further (frames are length-delimited), but it means the
+			// peer speaks a different version — drop the connection and
+			// let it redial.
+			return
+		}
+		tr.decBytes.Add(tr.id, int64(n))
+		tr.deliver(msgnet.Message{From: from, To: tr.id, Payload: payload})
 	}
 }
