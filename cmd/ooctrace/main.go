@@ -14,6 +14,14 @@
 // carry per-event wall-clock offsets and yield real latencies; untimed
 // traces fall back to sequence-number spans, which still order rounds
 // but measure "events elapsed" rather than time.
+//
+// It also reads the per-request span dumps raftkv -trace-out writes
+// (rtrace format, DESIGN §3.6) and renders where each sampled
+// request's latency went — leader queue, fsync, replication, apply:
+//
+//	ooctrace -spans spans.json                   # one line per request
+//	ooctrace -spans spans.json -request <id>     # one request's timeline
+//	ooctrace -spans spans.json -request <id> -json  # same view, diffable
 package main
 
 import (
@@ -38,10 +46,20 @@ func main() {
 		node     = flag.Int("node", -1, "print one processor's full event timeline")
 		round    = flag.Int("round", -1, "print one round's events across all processors")
 		channel  = flag.String("channel", "", "print one mux channel's event timeline (e.g. shard/2)")
+		spans    = flag.String("spans", "", "read a per-request span dump (raftkv -trace-out) instead of a trace file")
+		request  = flag.String("request", "", "with -spans: print one request's phase timeline (hex or decimal span ID)")
+		jsonOut  = flag.Bool("json", false, "with -spans: emit the view as JSON for diffing")
 	)
 	flag.Parse()
+	if *spans != "" {
+		if err := runSpans(*spans, *request, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ooctrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ooctrace [flags] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: ooctrace [flags] trace.json  |  ooctrace -spans spans.json [-request id] [-json]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -1,0 +1,236 @@
+// Span-dump views: the per-request latency-attribution side of
+// ooctrace, reading the rtrace dumps written by raftkv -trace-out.
+// Where the trace.json views reconstruct a simulator run round by
+// round, these follow one sampled client operation through the real
+// request path and say where its latency went: leader queue, fsync,
+// replication network, or apply.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"ooc/internal/rtrace"
+)
+
+// allPhases is the render order: the request path's causal order.
+var allPhases = [...]rtrace.Phase{
+	rtrace.PhaseQueue, rtrace.PhaseFsync, rtrace.PhaseNetwork, rtrace.PhaseApply,
+}
+
+// parseSpanID accepts the two forms ooctrace itself prints: the
+// %016x hex form (with or without an 0x prefix) and plain decimal.
+func parseSpanID(s string) (rtrace.ID, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	if n, err := strconv.ParseUint(s, 16, 64); err == nil {
+		return rtrace.ID(n), nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a span ID (want hex or decimal): %q", s)
+	}
+	return rtrace.ID(n), nil
+}
+
+// spanSummary is one span's one-line accounting — the listing row and
+// the -json listing element. Durations JSON-encode as nanoseconds.
+type spanSummary struct {
+	ID         string        `json:"id"`
+	Op         string        `json:"op"`
+	Key        string        `json:"key,omitempty"`
+	Origin     int           `json:"origin"`
+	Err        bool          `json:"err,omitempty"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Queue      time.Duration `json:"queue_ns"`
+	Fsync      time.Duration `json:"fsync_ns"`
+	Network    time.Duration `json:"network_ns"`
+	Apply      time.Duration `json:"apply_ns"`
+	Attributed time.Duration `json:"attributed_ns"`
+	Coverage   float64       `json:"coverage"` // attributed / elapsed
+}
+
+func summarize(s rtrace.Span) spanSummary {
+	sum := spanSummary{
+		ID:         fmt.Sprintf("%016x", uint64(s.ID)),
+		Op:         s.Op,
+		Key:        s.Key,
+		Origin:     s.Origin,
+		Err:        s.Err,
+		Elapsed:    s.Elapsed(),
+		Queue:      s.PhaseTotal(rtrace.PhaseQueue),
+		Fsync:      s.PhaseTotal(rtrace.PhaseFsync),
+		Network:    s.PhaseTotal(rtrace.PhaseNetwork),
+		Apply:      s.PhaseTotal(rtrace.PhaseApply),
+		Attributed: s.AttributedTotal(),
+	}
+	if sum.Elapsed > 0 {
+		sum.Coverage = float64(sum.Attributed) / float64(sum.Elapsed)
+	}
+	return sum
+}
+
+// requestView is the -request detail: the span's phase intervals as
+// offsets from span start, plus the attribution totals. This is the
+// shape CI diffs with -json.
+type requestView struct {
+	spanSummary
+	Start  time.Time       `json:"start"`
+	Phases []phaseInterval `json:"phases"`
+}
+
+type phaseInterval struct {
+	Phase    string        `json:"phase"`
+	Node     int           `json:"node"`
+	Offset   time.Duration `json:"offset_ns"` // interval start − span start
+	Duration time.Duration `json:"duration_ns"`
+}
+
+func viewRequest(s rtrace.Span) requestView {
+	v := requestView{spanSummary: summarize(s), Start: s.Start}
+	phases := append([]rtrace.PhaseInterval(nil), s.Phases...)
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].Start.Before(phases[j].Start) })
+	for _, pi := range phases {
+		v.Phases = append(v.Phases, phaseInterval{
+			Phase:    pi.Phase.String(),
+			Node:     pi.Node,
+			Offset:   pi.Start.Sub(s.Start),
+			Duration: pi.Duration(),
+		})
+	}
+	return v
+}
+
+// runSpans drives the -spans mode: a listing of every span in the
+// dump, or the single-request timeline when -request is given.
+func runSpans(path, request string, jsonOut bool) error {
+	spans, err := rtrace.ReadSpansFile(path)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if request == "" {
+		return printSpanList(w, spans, jsonOut)
+	}
+	id, err := parseSpanID(request)
+	if err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if s.ID == id {
+			return printRequest(w, s, jsonOut)
+		}
+	}
+	return fmt.Errorf("span %016x not in %s (%d spans; run without -request to list)", uint64(id), path, len(spans))
+}
+
+func printSpanList(w io.Writer, spans []rtrace.Span, jsonOut bool) error {
+	summaries := make([]spanSummary, len(spans))
+	for i, s := range spans {
+		summaries[i] = summarize(s)
+	}
+	if jsonOut {
+		return writeJSON(w, struct {
+			Spans []spanSummary `json:"spans"`
+		}{summaries})
+	}
+	fmt.Fprintf(w, "spans: %d sampled requests\n", len(spans))
+	if len(spans) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "  %-16s  %-14s  %-10s  %-9s  %-9s  %-9s  %-9s  %-9s  %-5s  %s\n",
+		"id", "op", "key", "elapsed", "queue", "fsync", "network", "apply", "cover", "err")
+	for _, s := range summaries {
+		errMark := ""
+		if s.Err {
+			errMark = "ERR"
+		}
+		fmt.Fprintf(w, "  %-16s  %-14s  %-10s  %-9s  %-9s  %-9s  %-9s  %-9s  %4.0f%%  %s\n",
+			s.ID, trunc(s.Op, 14), trunc(s.Key, 10), fd(s.Elapsed),
+			fd(s.Queue), fd(s.Fsync), fd(s.Network), fd(s.Apply), 100*s.Coverage, errMark)
+	}
+	fmt.Fprintf(w, "  (detail: ooctrace -spans <file> -request <id>)\n")
+	return nil
+}
+
+func printRequest(w io.Writer, s rtrace.Span, jsonOut bool) error {
+	v := viewRequest(s)
+	if jsonOut {
+		return writeJSON(w, v)
+	}
+	fmt.Fprintf(w, "request %s: %s", v.ID, s.Op)
+	if s.Key != "" {
+		fmt.Fprintf(w, " key=%q", s.Key)
+	}
+	fmt.Fprintf(w, " origin=node%d", s.Origin)
+	if s.Err {
+		fmt.Fprintf(w, " (errored)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  end-to-end %s, attributed %s (%.0f%% coverage)\n\n",
+		fd(v.Elapsed), fd(v.Attributed), 100*v.Coverage)
+
+	fmt.Fprintf(w, "  %-9s  %-8s  %-5s  %s\n", "offset", "phase", "node", "duration")
+	for _, pi := range v.Phases {
+		fmt.Fprintf(w, "  +%-8s  %-8s  %-5d  %s\n", fd(pi.Offset), pi.Phase, pi.Node, fd(pi.Duration))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "  %-8s  %-9s  %s\n", "phase", "total", "share of e2e")
+	totals := [...]time.Duration{v.Queue, v.Fsync, v.Network, v.Apply}
+	for i, p := range allPhases {
+		share := 0.0
+		if v.Elapsed > 0 {
+			share = float64(totals[i]) / float64(v.Elapsed)
+		}
+		fmt.Fprintf(w, "  %-8s  %-9s  %4.0f%%  %s\n", p, fd(totals[i]), 100*share, bar(share, 32))
+	}
+	unattributed := v.Elapsed - v.Attributed
+	if unattributed < 0 {
+		unattributed = 0
+	}
+	share := 0.0
+	if v.Elapsed > 0 {
+		share = float64(unattributed) / float64(v.Elapsed)
+	}
+	fmt.Fprintf(w, "  %-8s  %-9s  %4.0f%%  %s\n", "(other)", fd(unattributed), 100*share, bar(share, 32))
+	return nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+// fd renders a duration at microsecond grain — the scale request
+// phases live at; columns stay aligned without drowning in digits.
+func fd(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

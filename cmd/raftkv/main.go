@@ -32,6 +32,7 @@ import (
 	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/raft"
+	"ooc/internal/rtrace"
 	"ooc/internal/sim"
 	"ooc/internal/transport"
 )
@@ -41,6 +42,27 @@ import (
 // in-memory simulator, which passes payloads by reference — the codec
 // reaches its numbers through the storage path there.
 var wireCodec transport.Codec
+
+// tracer samples per-request spans when -trace-sample > 0 (nil
+// otherwise: every hook no-ops). flights holds one flight recorder per
+// in-process node when -flight-dir is set (nil otherwise), dumping to
+// that directory on anomalies.
+var (
+	tracer  *rtrace.Tracer
+	flights []*rtrace.Flight
+)
+
+// newFlights builds count recorders dumping into dir ("" = disabled).
+func newFlights(count int, dir string, reg *metrics.Registry) []*rtrace.Flight {
+	if dir == "" {
+		return nil
+	}
+	fl := make([]*rtrace.Flight, count)
+	for i := range fl {
+		fl[i] = rtrace.NewFlight(i, 4096, rtrace.WithFlightDir(dir), rtrace.WithFlightMetrics(reg))
+	}
+	return fl
+}
 
 func main() {
 	var (
@@ -59,6 +81,9 @@ func main() {
 		readRatio = flag.Float64("read-ratio", 0, "bench mode: fraction of ops that are reads (0 = write-only E14 loop)")
 		shards    = flag.Int("shards", 1, "split the keyspace across this many independent Raft groups (demo and bench modes)")
 		codecName = flag.String("codec", "binary", "TCP wire encoding: binary (hand-rolled zero-alloc codec) | gob (compatibility oracle)")
+		sample    = flag.Float64("trace-sample", 0, "per-request tracing sample rate in [0,1]; 0 disables (span timelines dump to -trace-out for ooctrace -request)")
+		traceOut  = flag.String("trace-out", "", "write sampled span timelines to this JSON file on exit (requires -trace-sample > 0)")
+		flightDir = flag.String("flight-dir", "", "arm per-node flight recorders dumping recent events to this directory on anomalies (elections, lease expiries, mux backlog drops)")
 	)
 	flag.Parse()
 	transport.Register(raft.WireTypes()...)
@@ -82,13 +107,41 @@ func main() {
 	var reg *metrics.Registry
 	if *telemetry != "" {
 		reg = metrics.NewRegistry()
-		srv, err := metrics.Serve(*telemetry, reg)
+	}
+	if *sample > 0 {
+		tracer = rtrace.New(rtrace.Options{Sample: *sample, Registry: reg})
+	} else if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "raftkv: -trace-out needs -trace-sample > 0")
+		os.Exit(1)
+	}
+	// Demo and bench modes run the whole cluster in-process (one recorder
+	// per node); server mode runs one node, labeled with its cluster id.
+	if *demo || *benchMode {
+		flights = newFlights(*n, *flightDir, reg)
+	} else if *flightDir != "" {
+		flights = []*rtrace.Flight{rtrace.NewFlight(*id, 4096,
+			rtrace.WithFlightDir(*flightDir), rtrace.WithFlightMetrics(reg))}
+	}
+	if *telemetry != "" {
+		var routes []metrics.Route
+		if len(flights) > 0 {
+			// /debug/flight serves the first in-process node's ring; the
+			// per-node views sit underneath it.
+			routes = append(routes, metrics.Route{Pattern: "/debug/flight", Handler: flights[0].Handler()})
+			for i, fl := range flights {
+				routes = append(routes, metrics.Route{Pattern: fmt.Sprintf("/debug/flight/%d", i), Handler: fl.Handler()})
+			}
+		}
+		srv, err := metrics.Serve(*telemetry, reg, routes...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "raftkv: telemetry: %v\n", err)
 			os.Exit(1)
 		}
 		defer func() { _ = srv.Close() }()
 		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+		if len(flights) > 0 {
+			fmt.Printf("flight recorder on http://%s/debug/flight (dumps to %s)\n", srv.Addr, *flightDir)
+		}
 	}
 
 	switch {
@@ -105,6 +158,13 @@ func main() {
 			err = fmt.Errorf("-shards applies to -demo and -bench; server mode runs one single-group node per process")
 		} else {
 			err = runServer(*id, strings.Split(*peers, ","), readMode, *lease, reg)
+		}
+	}
+	if tracer != nil && *traceOut != "" {
+		if werr := tracer.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "raftkv: trace dump: %v\n", werr)
+		} else {
+			fmt.Printf("sampled spans written to %s (view: ooctrace -spans %s -request <id>)\n", *traceOut, *traceOut)
 		}
 	}
 	if err != nil {
@@ -134,6 +194,8 @@ func runBench(n, clients int, duration time.Duration, disk bool, seed uint64,
 		Seed:          seed,
 		FileStorage:   disk,
 		Metrics:       reg,
+		Tracer:        tracer,
+		Flights:       flights,
 		ReadRatio:     readRatio,
 		ReadMode:      readMode,
 		LeaseDuration: lease,
@@ -168,8 +230,22 @@ func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, l
 		HeartbeatInterval: 30 * time.Millisecond,
 		StateMachine:      kv,
 		Metrics:           reg,
+		Tracer:            tracer,
+		Flight:            flightFor(id),
 		LeaseDuration:     lease,
 	})
+}
+
+// flightFor maps an in-process node id to its recorder (server mode has
+// exactly one, whatever the node's cluster id).
+func flightFor(id int) *rtrace.Flight {
+	if len(flights) == 1 {
+		return flights[0]
+	}
+	if id < len(flights) {
+		return flights[id]
+	}
+	return nil
 }
 
 func runDemo(n int, lease time.Duration, reg *metrics.Registry) error {

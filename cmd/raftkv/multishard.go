@@ -37,6 +37,8 @@ func runMultiShardBench(n, shards, clients int, duration time.Duration, disk boo
 		Seed:            seed,
 		FileStorage:     true,
 		Metrics:         reg,
+		Tracer:          tracer,
+		Flights:         flights,
 		ReadRatio:       readRatio,
 		ReadMode:        readMode,
 		LeaseDuration:   lease,
@@ -94,6 +96,8 @@ func runMultiShardDemo(n, shards int, readMode raft.ReadConsistency, lease time.
 		LeaseDuration:     lease,
 		ReadMode:          readMode,
 		Metrics:           reg,
+		Tracer:            tracer,
+		Flights:           flights,
 	})
 	if err != nil {
 		return err

@@ -232,7 +232,7 @@ func (mv *MeteredVAC[V]) Propose(ctx context.Context, v V, round int) (core.Conf
 	}
 	if x.Valid() {
 		mv.outcomes[x].Inc(mv.node)
-		mv.latency[x].Observe(mv.node, time.Since(start))
+		mv.latency[x].ObserveSince(mv.node, start)
 	}
 	return x, u, err
 }

@@ -13,6 +13,7 @@ import (
 	"ooc/internal/msgnet"
 	"ooc/internal/netsim"
 	"ooc/internal/raft"
+	"ooc/internal/rtrace"
 	"ooc/internal/shard"
 	"ooc/internal/sim"
 	"ooc/internal/workload"
@@ -62,6 +63,10 @@ type MultiShardConfig struct {
 	LeaseDuration time.Duration
 	Keys          int
 	Zipfian       bool
+	// Tracer/Flights thread per-request tracing and flight recording
+	// through the cluster (shard.Config.Tracer / shard.Config.Flights).
+	Tracer  *rtrace.Tracer
+	Flights []*rtrace.Flight
 }
 
 // MultiShardResult is one run's outcome.
@@ -168,6 +173,8 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		LeaseDuration:     cfg.LeaseDuration,
 		ReadMode:          cfg.ReadMode,
+		Tracer:            cfg.Tracer,
+		Flights:           cfg.Flights,
 		Storage:           storage,
 		Metrics:           cfg.Metrics,
 		ShardMetrics:      cfg.ShardMetrics,

@@ -13,6 +13,7 @@ import (
 	"ooc/internal/metrics"
 	"ooc/internal/netsim"
 	"ooc/internal/raft"
+	"ooc/internal/rtrace"
 	"ooc/internal/sim"
 	"ooc/internal/transport"
 	"ooc/internal/workload"
@@ -55,6 +56,13 @@ type ThroughputConfig struct {
 	LeaseDuration time.Duration
 	Keys          int
 	Zipfian       bool
+	// Tracer, if non-nil, samples per-request spans across the run: the
+	// harness client opens them, the nodes attribute phases into them.
+	// After the run, Tracer.Spans() holds the sampled timelines.
+	Tracer *rtrace.Tracer
+	// Flights, if non-nil, gives node i the flight recorder Flights[i]
+	// (short slices leave the rest unwired).
+	Flights []*rtrace.Flight
 }
 
 // ThroughputResult is one run's outcome.
@@ -130,6 +138,8 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			StateMachine:        &raft.KVStore{},
 			Storage:             store,
 			Metrics:             cfg.Metrics,
+			Tracer:              cfg.Tracer,
+			Flight:              flightAt(cfg.Flights, id),
 			MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
 			MaxInflightAppends:  cfg.MaxInflightAppends,
 			MaxProposalBatch:    cfg.MaxProposalBatch,
@@ -143,7 +153,8 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	}
 	client, err := raft.NewClient(nodes,
 		raft.WithClientBackoff(time.Millisecond),
-		raft.WithClientRNG(rng.Fork(uint64(cfg.Nodes))))
+		raft.WithClientRNG(rng.Fork(uint64(cfg.Nodes))),
+		raft.WithClientTracer(cfg.Tracer))
 	if err != nil {
 		return ThroughputResult{}, err
 	}
@@ -274,6 +285,14 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		res.FsyncsPerOp = float64(res.Fsyncs) / float64(res.Ops)
 	}
 	return res, nil
+}
+
+// flightAt indexes a possibly-short flight slice.
+func flightAt(flights []*rtrace.Flight, id int) *rtrace.Flight {
+	if id < len(flights) {
+		return flights[id]
+	}
+	return nil
 }
 
 // RunE14 measures the batched-and-pipelined replication path end to end:

@@ -32,10 +32,25 @@ import (
 	"ooc/internal/raft"
 )
 
-// Version leads every frame. A decoder accepts versions it knows and
-// rejects the rest; additive format changes bump it rather than
-// silently shifting field offsets.
+// Version leads every untraced frame. A decoder accepts versions it
+// knows and rejects the rest; additive format changes bump it rather
+// than silently shifting field offsets.
 const Version = 1
+
+// VersionTraced frames carry a per-request trace ID (internal/rtrace)
+// between the version byte and the type tag:
+//
+//	[2][uvarint trace id][type tag byte][body]
+//
+// Untraced messages keep emitting Version-1 frames byte-identical to
+// the previous release, so a trace-enabled sender only speaks version 2
+// on the (sampled) messages that need it and old peers keep decoding
+// everything else. Peers that must never see version 2 at all are
+// pinned with transport.WithMaxFrameVersion (DESIGN §3.6).
+const VersionTraced = 2
+
+// MaxVersion is the highest frame version this build emits and accepts.
+const MaxVersion = VersionTraced
 
 // Type tags. Wire format — never renumber; new message types append.
 const (
@@ -56,9 +71,52 @@ const (
 // returns the extended buffer. For the known message set this is
 // allocation-free once dst has warmed to steady-state capacity; foreign
 // types pay a gob encode inside the frame.
+//
+// A msgnet.Traced wrapper (top level or directly inside msgnet.Tagged)
+// is hoisted into the frame header: the frame becomes VersionTraced and
+// the trace ID rides as a header uvarint, never as an encoded wrapper
+// type. Everything else emits Version 1, byte-identical to before the
+// trace field existed.
 func Append(dst []byte, msg any) ([]byte, error) {
+	return AppendMax(dst, msg, MaxVersion)
+}
+
+// AppendMax is Append with a frame-version ceiling. maxVersion below
+// VersionTraced strips trace wrappers instead of encoding them — the
+// rolling-upgrade path for peers that reject unknown versions.
+func AppendMax(dst []byte, msg any, maxVersion byte) ([]byte, error) {
+	id, inner := hoistTrace(msg)
+	if id != 0 && maxVersion >= VersionTraced {
+		dst = append(dst, VersionTraced)
+		dst = bin.AppendUvarint(dst, id)
+		return appendBody(dst, inner)
+	}
 	dst = append(dst, Version)
-	return appendBody(dst, msg)
+	return appendBody(dst, inner)
+}
+
+// hoistTrace extracts the trace ID a payload carries, returning the
+// payload with the wrapper removed. Only the two shapes the stack
+// produces are recognized: Traced{msg} and Tagged{ch, Traced{msg}}.
+func hoistTrace(msg any) (uint64, any) {
+	switch m := msg.(type) {
+	case msgnet.Traced:
+		return m.ID, m.Payload
+	case msgnet.Tagged:
+		if t, ok := m.Payload.(msgnet.Traced); ok {
+			return t.ID, msgnet.Tagged{Channel: m.Channel, Payload: t.Payload}
+		}
+	}
+	return 0, msg
+}
+
+// rewrapTrace reverses hoistTrace after decode so receivers see the
+// same shape the sender handed to Append.
+func rewrapTrace(msg any, id uint64) any {
+	if t, ok := msg.(msgnet.Tagged); ok {
+		return msgnet.Tagged{Channel: t.Channel, Payload: msgnet.Traced{ID: id, Payload: t.Payload}}
+	}
+	return msgnet.Traced{ID: id, Payload: msg}
 }
 
 func appendBody(dst []byte, msg any) ([]byte, error) {
@@ -151,11 +209,9 @@ type Decoder struct {
 // appending them to its log) owns them outright.
 func (d *Decoder) Decode(frame []byte) (any, error) {
 	r := bin.NewReader(frame)
-	if v := r.Byte(); v != Version {
-		if r.Err() != nil {
-			return nil, r.Err()
-		}
-		return nil, fmt.Errorf("codec: unsupported frame version %d", v)
+	traceID, err := readHeader(r)
+	if err != nil {
+		return nil, err
 	}
 	msg, err := d.readBody(r)
 	if err != nil {
@@ -164,7 +220,28 @@ func (d *Decoder) Decode(frame []byte) (any, error) {
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("codec: %d trailing bytes after frame", r.Len())
 	}
+	if traceID != 0 {
+		msg = rewrapTrace(msg, traceID)
+	}
 	return msg, nil
+}
+
+// readHeader consumes the version byte (and, for VersionTraced frames,
+// the trace ID uvarint), leaving r at the type tag.
+func readHeader(r *bin.Reader) (uint64, error) {
+	v := r.Byte()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	switch v {
+	case Version:
+		return 0, nil
+	case VersionTraced:
+		id := r.Uvarint()
+		return id, r.Err()
+	default:
+		return 0, fmt.Errorf("codec: unsupported frame version %d", v)
+	}
 }
 
 func (d *Decoder) readBody(r *bin.Reader) (any, error) {
@@ -250,11 +327,8 @@ func (d *Decoder) readAppendEntries(r *bin.Reader, m *raft.AppendEntries, reuse 
 // back only after the previous message is fully consumed.
 func (d *Decoder) DecodeAppendEntriesInto(frame []byte, m *raft.AppendEntries, reuse []raft.Entry) error {
 	r := bin.NewReader(frame)
-	if v := r.Byte(); v != Version {
-		if r.Err() != nil {
-			return r.Err()
-		}
-		return fmt.Errorf("codec: unsupported frame version %d", v)
+	if _, err := readHeader(r); err != nil {
+		return err
 	}
 	if tag := r.Byte(); tag != tAppendEntries {
 		if r.Err() != nil {

@@ -156,7 +156,7 @@ func TestEncodeZeroAlloc(t *testing.T) {
 	msgs := []any{
 		raft.AppendEntries{
 			Term: 5, LeaderID: 0, PrevLogIndex: 9, PrevLogTerm: 4,
-			Entries: []raft.Entry{{Term: 5, Command: raft.KVCommand{Op: "set", Key: "k", Value: "v"}}},
+			Entries:      []raft.Entry{{Term: 5, Command: raft.KVCommand{Op: "set", Key: "k", Value: "v"}}},
 			LeaderCommit: 8, ReadID: 41,
 		},
 		raft.AppendEntries{Term: 5, LeaderID: 0, PrevLogIndex: 12, PrevLogTerm: 5, LeaderCommit: 12},

@@ -16,7 +16,7 @@ import (
 func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add(3, 1, 10, 2, 8, 41, "set", "key", "value", uint8(1), uint8(0))
 	f.Add(-1, 0, 0, 0, -5, 0, "", "", "", uint8(0), uint8(3))
-	f.Add(1 << 40, 2, 1<<32, 7, 99, -3, "delete", "k\x00n", "\xff\xfe", uint8(4), uint8(7))
+	f.Add(1<<40, 2, 1<<32, 7, 99, -3, "delete", "k\x00n", "\xff\xfe", uint8(4), uint8(7))
 	f.Fuzz(func(t *testing.T, a, b, c, d, e, g int, op, key, val string, nEntries, kind uint8) {
 		es := make([]raft.Entry, int(nEntries)%8)
 		for i := range es {

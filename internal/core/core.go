@@ -262,14 +262,14 @@ func (om objectMetrics) now() time.Time {
 // returned confidence.
 func (om objectMetrics) observeDetector(c Confidence, since time.Time) {
 	if om.enabled && c.Valid() && om.detector[c] != nil {
-		om.detector[c].Observe(om.node, time.Since(since))
+		om.detector[c].ObserveSince(om.node, since)
 	}
 }
 
 // observeBreaker records one breaker invocation's latency.
 func (om objectMetrics) observeBreaker(since time.Time) {
 	if om.enabled {
-		om.breaker.Observe(om.node, time.Since(since))
+		om.breaker.ObserveSince(om.node, since)
 	}
 }
 

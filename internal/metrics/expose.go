@@ -138,17 +138,30 @@ type Server struct {
 // Close shuts the listener down.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// Route is an extra handler mounted on a telemetry server — how
+// subsystems this package must not depend on (the flight recorder's
+// /debug/flight, a tracer's span dump) ride the same listener.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts an HTTP server on addr exposing:
 //
 //	/metrics        — the registry (Prometheus text, or JSON via ?format=json)
 //	/debug/pprof/*  — the standard runtime profiles
 //
-// It returns once the listener is bound, serving in a background
-// goroutine; the caller owns Close. This is the backend of the binaries'
-// -telemetry flag.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// plus any extra routes, and returns once the listener is bound, serving
+// in a background goroutine; the caller owns Close. This is the backend
+// of the binaries' -telemetry flag.
+func Serve(addr string, reg *Registry, extra ...Route) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	for _, r := range extra {
+		if r.Pattern != "" && r.Handler != nil {
+			mux.Handle(r.Pattern, r.Handler)
+		}
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -181,6 +181,38 @@ func (h *Histogram) Observe(hint int, d time.Duration) {
 	c.observed.Add(1)
 }
 
+// ObserveSince records the elapsed time since start — the idiom behind
+// every latency histogram in the tree (`h.Observe(hint, time.Since(t0))`)
+// folded into one call so call sites cannot mix up which clock stamp
+// pairs with which histogram. A nil histogram still skips the record but
+// pays the clock read, like Observe.
+func (h *Histogram) ObserveSince(hint int, start time.Time) {
+	h.Observe(hint, time.Since(start))
+}
+
+// Timer measures one interval into a histogram: start it where the work
+// begins, ObserveDuration where it ends. It is a value (no allocation)
+// and is bound to its histogram at Start, so an early return cannot
+// record into the wrong sink.
+type Timer struct {
+	h     *Histogram
+	hint  int
+	start time.Time
+}
+
+// Start begins timing an interval attributed to the shard hint. Safe on
+// a nil histogram (ObserveDuration then only reports the elapsed time).
+func (h *Histogram) Start(hint int) Timer {
+	return Timer{h: h, hint: hint, start: time.Now()}
+}
+
+// ObserveDuration records the interval since Start and returns it.
+func (t Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(t.hint, d)
+	return d
+}
+
 // HistogramSnapshot is a histogram's folded state.
 type HistogramSnapshot struct {
 	// Bounds are the inclusive upper bounds; Counts has len(Bounds)+1

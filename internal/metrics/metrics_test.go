@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -173,5 +176,57 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	h := NewRegistry().Histogram("h", nil)
 	for i := 0; i < b.N; i++ {
 		h.Observe(i, time.Duration(i%1000)*time.Microsecond)
+	}
+}
+
+func TestObserveSinceAndTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat2", nil)
+	start := time.Now().Add(-10 * time.Millisecond)
+	h.ObserveSince(0, start)
+
+	tm := h.Start(1)
+	time.Sleep(time.Millisecond)
+	d := tm.ObserveDuration()
+	if d < time.Millisecond {
+		t.Fatalf("timer measured %v, want >= 1ms", d)
+	}
+
+	hs := r.Snapshot().Histograms["lat2"]
+	if hs.Count != 2 {
+		t.Fatalf("count = %d, want 2", hs.Count)
+	}
+	if hs.Sum < 11*time.Millisecond {
+		t.Fatalf("sum = %v, want >= 11ms", hs.Sum)
+	}
+}
+
+func TestServeMountsExtraRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc(0)
+	srv, err := Serve("127.0.0.1:0", r,
+		Route{Pattern: "/debug/custom", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("custom-ok"))
+		})},
+		Route{}, // empty pattern: skipped, not fatal
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if got := get("/debug/custom"); got != "custom-ok" {
+		t.Fatalf("extra route returned %q", got)
+	}
+	if got := get("/metrics"); !strings.Contains(got, "c 1") {
+		t.Fatalf("metrics route broken: %q", got)
 	}
 }

@@ -38,6 +38,50 @@ type Endpoint interface {
 	Recv(ctx context.Context) (Message, error)
 }
 
+// Traced wraps a payload with the per-request trace ID that produced it
+// (internal/rtrace). The wrapper exists so the ID can cross process
+// boundaries: the binary codec hoists it into the frame header (frame
+// version 2, DESIGN §3.6) instead of encoding the wrapper itself, and
+// the gob compatibility path strips it. In-process consumers (the raft
+// node loop, the mux) unwrap it with TraceOf. ID 0 never wraps.
+type Traced struct {
+	ID      uint64
+	Payload any
+}
+
+// WithTraceID wraps payload for the wire when id is non-zero; the
+// unsampled path returns payload untouched, allocating nothing.
+func WithTraceID(id uint64, payload any) any {
+	if id == 0 {
+		return payload
+	}
+	return Traced{ID: id, Payload: payload}
+}
+
+// TraceOf unwraps one Traced layer, returning the trace ID (0 if none)
+// and the inner payload.
+func TraceOf(payload any) (uint64, any) {
+	if t, ok := payload.(Traced); ok {
+		return t.ID, t.Payload
+	}
+	return 0, payload
+}
+
+// StripTrace removes trace wrappers wherever they ride — top level or
+// nested inside Tagged — for paths that cannot carry them (the gob
+// compatibility codec, version-pinned peers).
+func StripTrace(payload any) any {
+	switch m := payload.(type) {
+	case Traced:
+		return m.Payload
+	case Tagged:
+		if t, ok := m.Payload.(Traced); ok {
+			return Tagged{Channel: m.Channel, Payload: t.Payload}
+		}
+	}
+	return payload
+}
+
 // Sentinel errors shared by all Endpoint implementations.
 var (
 	// ErrCrashed is returned once the local processor has been crashed by

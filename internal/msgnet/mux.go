@@ -26,6 +26,7 @@ type Mux struct {
 	parent       Endpoint
 	backlogLimit int
 	dropped      *metrics.Counter
+	onDrop       func(channel string, from int)
 
 	mu      sync.Mutex
 	subs    map[string]*subEndpoint
@@ -66,6 +67,15 @@ func WithMuxMetrics(reg *metrics.Registry) MuxOption {
 	}
 }
 
+// WithMuxDropHook installs a callback fired (off the mux lock, on the
+// dispatcher goroutine) each time the backlog cap drops a message, with
+// the channel it was tagged for and the sender. The counter says drops
+// happened; the hook says which channel and who — it is how the flight
+// recorder makes drops attributable post-hoc (ISSUE 8).
+func WithMuxDropHook(fn func(channel string, from int)) MuxOption {
+	return func(m *Mux) { m.onDrop = fn }
+}
+
 // Tagged is the wire wrapper. For the TCP transport, register it with
 // transport.Register(msgnet.WireTypes()...); the binary codec
 // (internal/codec) encodes it natively, recursing on the payload.
@@ -74,8 +84,8 @@ type Tagged struct {
 	Payload any
 }
 
-// WireTypes lists the mux's wire wrapper for gob registration.
-func WireTypes() []any { return []any{Tagged{}} }
+// WireTypes lists the mux's wire wrappers for gob registration.
+func WireTypes() []any { return []any{Tagged{}, Traced{}} }
 
 // ChannelOf reports the mux channel name a payload is tagged with. Trace
 // recorders sitting under the mux (netsim, transport) capture the wire
@@ -145,6 +155,7 @@ func (m *Mux) dispatch(ctx context.Context) {
 			continue
 		}
 		s, ok := m.subs[tag.Channel]
+		dropped := false
 		if ok {
 			s.pending = append(s.pending, routed)
 		} else if len(m.backlog[tag.Channel]) < m.backlogLimit {
@@ -155,10 +166,14 @@ func (m *Mux) dispatch(ctx context.Context) {
 			// protocols re-broadcast per round), so dropping beats letting
 			// a dead channel's queue grow without bound.
 			m.dropped.Inc(m.parent.ID())
+			dropped = true
 		}
 		m.mu.Unlock()
 		if ok {
 			s.wake()
+		}
+		if dropped && m.onDrop != nil {
+			m.onDrop(tag.Channel, msg.From)
 		}
 	}
 }

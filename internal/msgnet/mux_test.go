@@ -175,8 +175,8 @@ func TestTwoConsensusInstancesOverOneNetwork(t *testing.T) {
 }
 
 func TestMuxWireTypes(t *testing.T) {
-	if got := len(msgnet.WireTypes()); got != 1 {
-		t.Fatalf("WireTypes() has %d entries", got)
+	if got := len(msgnet.WireTypes()); got != 2 {
+		t.Fatalf("WireTypes() has %d entries, want 2 (Tagged, Traced)", got)
 	}
 }
 

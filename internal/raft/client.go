@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ooc/internal/rtrace"
 	"ooc/internal/sim"
 )
 
@@ -25,8 +26,9 @@ type Client struct {
 	backoffMax time.Duration // exponential growth cap
 	rng        *sim.RNG      // jitter source; deterministic under a fixed seed
 	readMode   ReadConsistency
-	leader     atomic.Int32 // last node that served a read, or redirect hint; -1 unknown
-	rr         atomic.Int64 // round-robin cursor for stale reads
+	tracer     *rtrace.Tracer // nil = tracing disabled
+	leader     atomic.Int32   // last node that served a read, or redirect hint; -1 unknown
+	rr         atomic.Int64   // round-robin cursor for stale reads
 }
 
 // ClientOption configures a Client.
@@ -60,6 +62,15 @@ func WithClientRNG(rng *sim.RNG) ClientOption {
 // default is ReadLinearizable).
 func WithReadConsistency(rc ReadConsistency) ClientOption {
 	return func(c *Client) { c.readMode = rc }
+}
+
+// WithClientTracer samples per-request spans into t: SubmitWait and
+// ReadWith open a span per call, thread its ID through the node's
+// propose/read paths via the context, and close it with the outcome.
+// The same tracer should be handed to the cluster's nodes
+// (Config.Tracer) so the per-phase attribution lands in the same spans.
+func WithClientTracer(t *rtrace.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = t }
 }
 
 // NewClient builds a client over the contactable nodes.
@@ -115,7 +126,7 @@ func (c *Client) nextBackoff(attempt int) time.Duration {
 // which is out of scope here as in the Raft paper's core protocol).
 func (c *Client) Submit(ctx context.Context, cmd any) (index int, node int, err error) {
 	probe := 0
-	target := -1 // last redirect hint
+	target := int(c.leader.Load()) // last known leader; -1 probes
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return 0, 0, fmt.Errorf("raft: client: %w", err)
@@ -127,19 +138,32 @@ func (c *Client) Submit(ctx context.Context, cmd any) (index int, node int, err 
 		}
 		idx, perr := c.nodes[id].Propose(ctx, cmd)
 		if perr == nil {
+			c.leader.Store(int32(id))
 			return idx, id, nil
 		}
 		var nl ErrNotLeader
+		redirected := false
 		switch {
 		case errors.As(perr, &nl):
 			target = nl.LeaderID // may be -1: falls back to probing
 			if target == id {
 				target = -1 // stale self-reference; probe elsewhere
 			}
+			redirected = target >= 0 && target < len(c.nodes)
 		case errors.Is(perr, ErrStopped):
 			target = -1 // that node is gone; probe the others
 		default:
 			return 0, 0, fmt.Errorf("raft: client submit: %w", perr)
+		}
+		if redirected && attempt < len(c.nodes) {
+			// A concrete redirect: chase it immediately. Backing off
+			// here added a full jittered sleep to every write issued
+			// while the hint was cold — per-request tracing showed the
+			// sleep dominating the leader queue + fsync + replication
+			// phases combined. The chase is free only for one lap
+			// around the cluster, so a stale redirect loop (two nodes
+			// each pointing at the other mid-election) still backs off.
+			continue
 		}
 		c.clock.Sleep(c.nextBackoff(attempt))
 	}
@@ -150,6 +174,10 @@ func (c *Client) Submit(ctx context.Context, cmd any) (index int, node int, err 
 // visible in that node's state machine. If leadership changes before
 // commit it retries the submission from scratch.
 func (c *Client) SubmitWait(ctx context.Context, cmd any) (index int, err error) {
+	if id, ok := c.beginTrace(cmd); ok {
+		ctx = rtrace.WithTrace(ctx, id)
+		defer func() { c.tracer.End(id, err != nil) }()
+	}
 	for {
 		idx, id, err := c.Submit(ctx, cmd)
 		if err != nil {
@@ -164,6 +192,20 @@ func (c *Client) SubmitWait(ctx context.Context, cmd any) (index int, err error)
 		}
 		// The entry was lost to a leadership change; resubmit.
 	}
+}
+
+// beginTrace samples a span for a write, labeled from the KV command
+// when cmd is one. The origin is the client's current leader hint (-1
+// when probing).
+func (c *Client) beginTrace(cmd any) (rtrace.ID, bool) {
+	if c.tracer == nil {
+		return 0, false
+	}
+	op, key := fmt.Sprintf("%T", cmd), ""
+	if kv, ok := cmd.(KVCommand); ok {
+		op, key = kv.Op, kv.Key
+	}
+	return c.tracer.Begin(int(c.leader.Load()), op, key)
 }
 
 // KVGetter is the read surface Client.Read needs from a node's state
@@ -193,6 +235,12 @@ func (c *Client) Read(ctx context.Context, key string) (value string, found bool
 //     committed, and applied, and the value is then read from the
 //     accepting node.
 func (c *Client) ReadWith(ctx context.Context, key string, mode ReadConsistency) (value string, found bool, err error) {
+	if c.tracer != nil {
+		if id, ok := c.tracer.Begin(int(c.leader.Load()), "get:"+mode.String(), key); ok {
+			ctx = rtrace.WithTrace(ctx, id)
+			defer func() { c.tracer.End(id, err != nil) }()
+		}
+	}
 	switch mode {
 	case ReadStale:
 		return c.readStale(ctx, key)
@@ -302,14 +350,36 @@ func (c *Client) get(id int, key string) (string, bool, error) {
 // by polling Status every backoff tick: a Status call is a channel
 // round-trip through the node's main loop, so closed-loop clients both
 // quantized their latency to the poll period and stole loop iterations
-// from the commit pipeline. The Status checks remain — they decide the
-// truncation and stopped-node races the notifier can't — but now run
-// only after an apply edge or a coarse timeout instead of every tick.
+// from the commit pipeline. The happy path is now notifier-only — a
+// Status round-trip after the apply edge would stall behind whatever
+// the loop is doing next (typically the following batch's group-commit
+// fsync), adding unattributed milliseconds between apply and reply that
+// rtrace spans made visible. The Status checks remain for the timeout
+// path, where they decide the truncation and stopped-node races the
+// notifier can't see. Note the notifier result carries the same caveat
+// Status.LastApplied always did: applied reaching index does not prove
+// OUR entry survived at that index (see AwaitApplied).
 func (c *Client) waitApplied(ctx context.Context, id, index int) (bool, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return false, fmt.Errorf("raft: client: %w", err)
 		}
+		// Wake at the apply edge; the timeout bounds how long a
+		// truncation (which applies nothing at our index) can stall us.
+		wctx, cancel := context.WithTimeout(ctx, 10*c.backoff)
+		applied, err := c.nodes[id].AwaitApplied(wctx, index)
+		cancel()
+		if err == nil && applied >= index {
+			return true, nil
+		}
+		if errors.Is(err, ErrStopped) {
+			return false, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return false, fmt.Errorf("raft: client: %w", cerr)
+		}
+		// The wait timed out without the apply reaching index. Consult
+		// Status for what the notifier can't tell us.
 		st := c.nodes[id].Status()
 		switch {
 		case st.LastApplied >= index:
@@ -320,19 +390,6 @@ func (c *Client) waitApplied(ctx context.Context, id, index int) (bool, error) {
 		case st.State != Leader && st.Term == 0:
 			// Stopped node (zero status); treat as lost.
 			return false, nil
-		}
-		// Wake on the next apply edge; the timeout bounds how long a
-		// truncation (which applies nothing at our index) can stall us.
-		wctx, cancel := context.WithTimeout(ctx, 10*c.backoff)
-		_, err := c.nodes[id].AwaitApplied(wctx, index)
-		cancel()
-		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			if errors.Is(err, ErrStopped) {
-				return false, nil
-			}
-			if ctx.Err() != nil {
-				return false, fmt.Errorf("raft: client: %w", ctx.Err())
-			}
 		}
 	}
 }

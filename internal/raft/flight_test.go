@@ -1,0 +1,97 @@
+package raft
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ooc/internal/rtrace"
+)
+
+// TestLeaderCrashDumpsFlightRecorder is the anomaly-capture acceptance
+// check: nodes run with armed flight recorders, the cluster does normal
+// work (filling each ring with commit history), then the leader
+// crashes. The surviving nodes' elections must trigger disk dumps whose
+// contents carry the trigger event plus the preceding traffic — the
+// "what was the cluster doing right before this?" view.
+func TestLeaderCrashDumpsFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	// CI points OOC_FLIGHT_DUMP_DIR at a kept directory and uploads the
+	// dumps as a build artifact — a real anomaly capture per run.
+	if env := os.Getenv("OOC_FLIGHT_DUMP_DIR"); env != "" {
+		if err := os.MkdirAll(env, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		dir = env
+	}
+	flights := make(map[int]*rtrace.Flight)
+	c := newCluster(t, 3, 21, func(cfg *Config) {
+		fl := rtrace.NewFlight(cfg.ID, 1024, rtrace.WithFlightDir(dir))
+		flights[cfg.ID] = fl
+		cfg.Flight = fl
+	})
+	c.waitLeader()
+	// Commit enough entries that every node's ring holds >100 events.
+	// EvCommit is recorded per commit-index ADVANCE, not per entry, and
+	// netsim coalesces a burst of appends into a handful of advances —
+	// so drive each op to full application before the next, the way
+	// spaced-out production traffic arrives.
+	for i := 0; i < 120; i++ {
+		idx := c.propose(KVCommand{Op: "set", Key: fmt.Sprintf("k%d", i), Value: "v"})
+		c.waitApplied(idx, 0, 1, 2)
+	}
+
+	// The startup election already dumped on whichever node ran it; let
+	// the 250ms dump rate-limit window lapse so the crash election's
+	// dump is not suppressed as a duplicate.
+	time.Sleep(300 * time.Millisecond)
+
+	leader1 := c.waitLeader()
+	c.nw.Crash(leader1)
+	leader2 := c.waitLeader() // waits for a surviving node's election to win
+	if leader2 == leader1 {
+		t.Fatalf("crashed node %d still leads", leader1)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "flight-node*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("leader crash produced no flight dump")
+	}
+	// At least one surviving node's election dump must carry the trigger
+	// plus the >=100 events of preceding history. (Dumps from the boot
+	// election happened on a near-empty ring and are legitimately short.)
+	sawFull := false
+	var shapes []string
+	for _, path := range files {
+		dump, err := rtrace.ReadFlightDumpFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		shapes = append(shapes, fmt.Sprintf("%s: node=%d reason=%s events=%d",
+			filepath.Base(path), dump.Node, dump.Reason, len(dump.Events)))
+		if dump.Node == leader1 || dump.Reason != "election" || len(dump.Events) < 101 {
+			continue
+		}
+		if dump.Trigger.Code != rtrace.EvElection {
+			t.Fatalf("%s: trigger is %v, want election", path, dump.Trigger.Code)
+		}
+		commits := 0
+		for _, ev := range dump.Events {
+			if ev.Code == rtrace.EvCommit {
+				commits++
+			}
+		}
+		if commits < 100 {
+			t.Fatalf("%s: only %d commit events precede the election; ring lost history", path, commits)
+		}
+		sawFull = true
+	}
+	if !sawFull {
+		t.Fatalf("no surviving node dumped an election with full history; leader1=%d leader2=%d dumps: %v", leader1, leader2, shapes)
+	}
+}

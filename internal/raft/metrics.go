@@ -183,15 +183,17 @@ func (m *nodeMetrics) onSnapshot() {
 }
 
 // onReadServed records one read answered to a local caller, labeled by
-// the path that served it, with its request→reply latency.
-func (m *nodeMetrics) onReadServed(mode string, d time.Duration) {
+// the path that served it, with its request→reply latency measured from
+// the request's arrival stamp (metrics.ObserveSince — the disabled path
+// now skips the clock read entirely).
+func (m *nodeMetrics) onReadServed(mode string, t0 time.Time) {
 	if !m.enabled {
 		return
 	}
 	if c, ok := m.readsByMode[mode]; ok {
 		c.Inc(m.node)
 	}
-	m.readLatency.Observe(m.node, d)
+	m.readLatency.ObserveSince(m.node, t0)
 }
 
 // onReadRound records one confirmed leadership round and how many reads

@@ -9,6 +9,7 @@ import (
 
 	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
+	"ooc/internal/rtrace"
 	"ooc/internal/sim"
 	"ooc/internal/trace"
 )
@@ -103,6 +104,16 @@ type Config struct {
 	// Metrics, if non-nil, receives counters, gauges, and latency
 	// histograms (term changes, elections, heartbeats, commit latency).
 	Metrics *metrics.Registry
+	// Tracer, if non-nil, receives per-request phase attribution for
+	// sampled proposals and reads (internal/rtrace): queue, fsync,
+	// network, and apply intervals observed from the main loop. Unsampled
+	// requests (trace ID 0) cost a nil/zero check per hook.
+	Tracer *rtrace.Tracer
+	// Flight, if non-nil, is this node's always-on flight recorder:
+	// role transitions, commit advances, proposal batches, read rounds,
+	// and snapshot traffic are recorded into its bounded ring, and
+	// elections trigger a dump (rtrace.Flight).
+	Flight *rtrace.Flight
 }
 
 func (c *Config) normalize() error {
@@ -191,6 +202,14 @@ type Node struct {
 	applyWaits []applyWait
 	rstats     readStats
 
+	// Per-request tracing bookkeeping (leader only, sampled proposals
+	// only): traced maps a log index to its in-flight trace, and
+	// tracedUnsynced lists the indexes whose fsync phase is still open —
+	// closed by the next flushPersist. Both stay empty with tracing off,
+	// so the hot path pays a len check.
+	traced         map[int]*tracedOp
+	tracedUnsynced []int
+
 	proposeCh  chan proposeReq
 	readCh     chan readReq
 	campaignCh chan any
@@ -219,6 +238,17 @@ type stagedReply struct {
 type proposeReq struct {
 	cmd   any
 	reply chan proposeReply
+	trace rtrace.ID // 0 unless this proposal is sampled
+	enq   time.Time // queue-phase start; zero unless sampled
+}
+
+// tracedOp is the leader-side bookkeeping for one sampled proposal:
+// which trace produced the log entry at this index, when it was appended,
+// and when its local fsync completed (the network phase's start).
+type tracedOp struct {
+	id       rtrace.ID
+	appended time.Time
+	synced   time.Time
 }
 
 type proposeReply struct {
@@ -317,6 +347,9 @@ func (nd *Node) flushPersist() {
 	if nd.cfg.Storage == nil || nd.fatal != nil {
 		nd.stateDirty = false
 		nd.pendingLog = nd.pendingLog[:0]
+		// No storage means no fsync phase: traced ops' network phase
+		// starts at their append time instead.
+		nd.tracedUnsynced = nd.tracedUnsynced[:0]
 		return
 	}
 	if nd.stateDirty {
@@ -329,8 +362,25 @@ func (nd *Node) flushPersist() {
 	}
 	if len(nd.pendingLog) > 0 {
 		nd.met.onStorageFlush(len(nd.pendingLog))
+		var t0 time.Time
+		if len(nd.tracedUnsynced) > 0 {
+			t0 = time.Now()
+		}
 		err := nd.cfg.Storage.AppendBatch(nd.pendingLog)
 		nd.pendingLog = nd.pendingLog[:0]
+		if len(nd.tracedUnsynced) > 0 {
+			// The group-committed batch shares one fsync; every traced op in
+			// it is attributed the full flush interval (they really did each
+			// wait that long).
+			t1 := time.Now()
+			for _, idx := range nd.tracedUnsynced {
+				if op, ok := nd.traced[idx]; ok {
+					nd.cfg.Tracer.ObservePhase(op.id, rtrace.PhaseFsync, nd.cfg.ID, t0, t1)
+					op.synced = t1
+				}
+			}
+			nd.tracedUnsynced = nd.tracedUnsynced[:0]
+		}
 		if err != nil {
 			nd.fatal = err
 		}
@@ -605,6 +655,10 @@ func (nd *Node) Campaign(value any) {
 // EventCommitted or the state machine for that.
 func (nd *Node) Propose(ctx context.Context, cmd any) (index int, err error) {
 	req := proposeReq{cmd: cmd, reply: make(chan proposeReply, 1)}
+	if id := rtrace.FromContext(ctx); id != 0 {
+		req.trace = id
+		req.enq = nd.cfg.Tracer.Now(id)
+	}
 	select {
 	case nd.proposeCh <- req:
 	case <-ctx.Done():
@@ -690,6 +744,12 @@ func (nd *Node) emit(e Event) {
 // ---- message handling (main loop only) ----
 
 func (nd *Node) handleMessage(m msgnet.Message) {
+	if id, inner := msgnet.TraceOf(m.Payload); id != 0 {
+		// A sampled request's replication traffic: unwrap for the handlers
+		// and leave a correlation event in the flight ring.
+		m.Payload = inner
+		nd.cfg.Flight.Record(rtrace.EvNote, rtrace.ID(id), int64(m.From), 0, "traced-recv")
+	}
 	switch p := m.Payload.(type) {
 	case RequestVote:
 		nd.onRequestVote(m.From, p)
@@ -865,6 +925,13 @@ func (nd *Node) stepDown(term int) {
 		nd.met.onTermChange(term)
 	}
 	nd.met.dropPending()
+	if wasLeader {
+		nd.cfg.Flight.Record(rtrace.EvStepDown, 0, int64(term), int64(nd.hs.commitIndex), "")
+	}
+	// In-flight traced proposals die with the reign; their clients see
+	// the error and close the spans.
+	nd.traced = nil
+	nd.tracedUnsynced = nd.tracedUnsynced[:0]
 	nd.hs.currentTerm = term
 	nd.hs.votedFor = none
 	nd.hs.state = Follower
@@ -884,6 +951,10 @@ func (nd *Node) becomeCandidate() {
 	nd.hs.currentTerm++
 	nd.met.onTermChange(nd.hs.currentTerm)
 	nd.met.onElection()
+	// An election is an anomaly from the workload's point of view: dump
+	// the flight ring so the run-up (lost heartbeats, drops, backlog) is
+	// preserved before new-term traffic overwrites it.
+	nd.cfg.Flight.Trigger(rtrace.EvElection, 0, int64(nd.hs.currentTerm), int64(nd.hs.commitIndex), "")
 	nd.hs.state = Candidate
 	nd.hs.votedFor = nd.cfg.ID
 	nd.hs.leaderID = none
@@ -914,6 +985,7 @@ func (nd *Node) becomeCandidate() {
 
 func (nd *Node) becomeLeader() {
 	nd.met.onElectionWon()
+	nd.cfg.Flight.Record(rtrace.EvBecameLeader, 0, int64(nd.hs.currentTerm), int64(nd.hs.log.lastIndex()), "")
 	nd.hs.state = Leader
 	nd.hs.leaderID = nd.cfg.ID
 	nd.ls = newLeaderState(nd.n, nd.hs.log.lastIndex())
@@ -955,9 +1027,22 @@ func (nd *Node) handleProposeBatch(reqs []proposeReq) {
 		cmds[i] = r.cmd
 	}
 	first := nd.appendLocalBatch(cmds)
+	var drained time.Time // one clock read even if several proposals are sampled
 	for i, r := range reqs {
 		nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: first + i}})
+		if r.trace != 0 {
+			if drained.IsZero() {
+				drained = time.Now()
+			}
+			nd.cfg.Tracer.ObservePhase(r.trace, rtrace.PhaseQueue, nd.cfg.ID, r.enq, drained)
+			if nd.traced == nil {
+				nd.traced = make(map[int]*tracedOp)
+			}
+			nd.traced[first+i] = &tracedOp{id: r.trace, appended: drained}
+			nd.tracedUnsynced = append(nd.tracedUnsynced, first+i)
+		}
 	}
+	nd.cfg.Flight.Record(rtrace.EvProposeBatch, 0, int64(len(reqs)), int64(nd.hs.log.lastIndex()), "")
 	nd.advanceCommit() // single-node clusters commit immediately
 	nd.broadcastAppend()
 }
@@ -1007,7 +1092,7 @@ func (nd *Node) sendAppend(to int) {
 			prev, prevTerm = 0, 0
 		}
 		entries := nd.hs.log.sliceLimit(next, nd.cfg.MaxEntriesPerAppend)
-		nd.send(to, AppendEntries{
+		var payload any = AppendEntries{
 			Term:         nd.hs.currentTerm,
 			LeaderID:     nd.cfg.ID,
 			PrevLogIndex: prev,
@@ -1015,7 +1100,19 @@ func (nd *Node) sendAppend(to int) {
 			Entries:      entries,
 			LeaderCommit: nd.hs.commitIndex,
 			ReadID:       nd.readSeq,
-		})
+		}
+		if len(nd.traced) > 0 {
+			// Carry the newest sampled entry's trace ID across the wire so
+			// peers' flight recorders can correlate (frame version 2; one ID
+			// per frame is enough for correlation).
+			for idx := next + len(entries) - 1; idx >= next; idx-- {
+				if op, ok := nd.traced[idx]; ok {
+					payload = msgnet.WithTraceID(uint64(op.id), payload)
+					break
+				}
+			}
+		}
+		nd.send(to, payload)
 		nd.ls.inflight[to]++
 		nd.ls.nextIndex[to] = next + len(entries) // optimistic; rolled back on rejection
 		nd.met.onAppendSend(len(entries), nd.ls.inflight[to])
@@ -1098,6 +1195,7 @@ func (nd *Node) sendSnapshot(to int) {
 		nd.fatal = fmt.Errorf("raft: snapshot: %w", err)
 		return
 	}
+	nd.cfg.Flight.Record(rtrace.EvSnapshot, 0, int64(nd.hs.log.snapIndex), int64(to), "send")
 	nd.send(to, InstallSnapshot{
 		Term:              nd.hs.currentTerm,
 		LeaderID:          nd.cfg.ID,
@@ -1139,6 +1237,7 @@ func (nd *Node) onInstallSnapshot(from int, m InstallSnapshot) {
 		nd.fatal = fmt.Errorf("raft: install snapshot: %w", err)
 		return
 	}
+	nd.cfg.Flight.Record(rtrace.EvSnapshot, 0, int64(m.LastIncludedIndex), int64(from), "install")
 	nd.hs.log.restoreSnapshot(m.LastIncludedIndex, m.LastIncludedTerm)
 	nd.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
 	nd.hs.commitIndex = m.LastIncludedIndex
@@ -1207,6 +1306,11 @@ func (nd *Node) setCommitIndex(index int) {
 	old := nd.hs.commitIndex
 	nd.hs.commitIndex = index
 	nd.met.onCommit(old, index)
+	nd.cfg.Flight.Record(rtrace.EvCommit, 0, int64(index), int64(nd.hs.currentTerm), "")
+	var committed time.Time
+	if len(nd.traced) > 0 {
+		committed = time.Now()
+	}
 	for i := old + 1; i <= index; i++ {
 		e, _ := nd.hs.log.entryAt(i)
 		nd.emit(Event{Kind: EventCommitted, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: i, Command: e.Command})
@@ -1219,6 +1323,22 @@ func (nd *Node) setCommitIndex(index int) {
 		}
 		nd.met.onApply()
 		nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: nd.hs.lastApplied, Command: e.Command})
+	}
+	if !committed.IsZero() {
+		// Close the traced window: network = fsync-done (or append) to
+		// quorum commit, apply = commit to state-machine application.
+		applied := time.Now()
+		for i := old + 1; i <= index; i++ {
+			if op, ok := nd.traced[i]; ok {
+				start := op.synced
+				if start.IsZero() {
+					start = op.appended
+				}
+				nd.cfg.Tracer.ObservePhase(op.id, rtrace.PhaseNetwork, nd.cfg.ID, start, committed)
+				nd.cfg.Tracer.ObservePhase(op.id, rtrace.PhaseApply, nd.cfg.ID, committed, applied)
+				delete(nd.traced, i)
+			}
+		}
 	}
 	nd.applied.advance(nd.hs.lastApplied)
 	nd.drainApplyWaits()

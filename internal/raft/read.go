@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"ooc/internal/rtrace"
 )
 
 // ReadConsistency selects how a read is served (see Client.Read and
@@ -72,17 +74,20 @@ type readReq struct {
 	mode  ReadConsistency
 	reply chan proposeReply
 	t0    time.Time
+	trace rtrace.ID // 0 unless this read is sampled
 }
 
 // readWaiter is one read attached to a confirmation round: either a
 // local caller (ch != nil) or a follower-forwarded request to answer
 // with a ReadIndexReply.
 type readWaiter struct {
-	ch    chan proposeReply // local waiter; nil for a forwarded read
-	from  int               // forwarding follower (when ch == nil)
-	id    int64             // forwarded request correlation id
-	lease bool              // client asked for ReadLease semantics
-	t0    time.Time         // local request arrival, for the latency histogram
+	ch        chan proposeReply // local waiter; nil for a forwarded read
+	from      int               // forwarding follower (when ch == nil)
+	id        int64             // forwarded request correlation id
+	lease     bool              // client asked for ReadLease semantics
+	t0        time.Time         // local request arrival, for the latency histogram
+	trace     rtrace.ID         // 0 unless sampled
+	confirmed time.Time         // when the read index became valid (apply-phase start); sampled only
 }
 
 // readRound is one leadership-confirmation round: all reads that
@@ -151,7 +156,7 @@ func (nd *Node) ReadIndexMode(ctx context.Context, mode ReadConsistency) (int, e
 	if mode == ReadLogCommand {
 		return 0, errors.New("raft: ReadLogCommand is served by the Client, not the node")
 	}
-	req := readReq{mode: mode, reply: make(chan proposeReply, 1), t0: time.Now()}
+	req := readReq{mode: mode, reply: make(chan proposeReply, 1), t0: time.Now(), trace: rtrace.FromContext(ctx)}
 	select {
 	case nd.readCh <- req:
 	case <-ctx.Done():
@@ -190,14 +195,21 @@ func (nd *Node) drainReads(first readReq) []readReq {
 // answer immediately from any role, leader reads take the lease or
 // ReadIndex path, and follower reads are forwarded to the leader.
 func (nd *Node) handleReadBatch(reqs []readReq) {
+	var drained time.Time // one clock read however many reads are sampled
 	for _, r := range reqs {
+		if r.trace != 0 {
+			if drained.IsZero() {
+				drained = time.Now()
+			}
+			nd.cfg.Tracer.ObservePhase(r.trace, rtrace.PhaseQueue, nd.cfg.ID, r.t0, drained)
+		}
 		if r.mode == ReadStale {
 			nd.rstats.stale.Add(1)
-			nd.met.onReadServed("stale", time.Since(r.t0))
+			nd.met.onReadServed("stale", r.t0)
 			nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: nd.hs.lastApplied}})
 			continue
 		}
-		w := readWaiter{ch: r.reply, lease: r.mode == ReadLease, t0: r.t0}
+		w := readWaiter{ch: r.reply, lease: r.mode == ReadLease, t0: r.t0, trace: r.trace}
 		if nd.hs.state == Leader {
 			nd.leaderRead(w)
 			continue
@@ -234,11 +246,17 @@ func (nd *Node) leaderRead(w readWaiter) {
 		if w.ch != nil {
 			nd.rstats.lease.Add(1)
 		}
+		// Lease path: no quorum round, so the network phase is zero and
+		// the read index is valid right now.
+		w.confirmed = nd.cfg.Tracer.Now(w.trace)
 		nd.resolveRead(w, nd.hs.commitIndex, true)
 		return
 	}
 	if w.lease {
 		nd.met.onLeaseExpired()
+		// A lapsed lease on a live leader means heartbeats stalled long
+		// enough to matter — dump the run-up.
+		nd.cfg.Flight.Trigger(rtrace.EvLeaseExpired, w.trace, int64(nd.hs.currentTerm), int64(nd.hs.commitIndex), "")
 	}
 	nd.joinReadRound(w)
 }
@@ -348,8 +366,18 @@ func (nd *Node) confirmReads() {
 		}
 		if len(r.waiters) > 0 {
 			nd.met.onReadRound(len(r.waiters))
+			nd.cfg.Flight.Record(rtrace.EvReadRound, 0, int64(r.index), int64(len(r.waiters)), "")
 		}
+		var confirmedAt time.Time // shared: the whole round confirmed together
 		for _, w := range r.waiters {
+			if w.trace != 0 {
+				if confirmedAt.IsZero() {
+					confirmedAt = time.Now()
+				}
+				// Network phase: probe broadcast to quorum echo.
+				nd.cfg.Tracer.ObservePhase(w.trace, rtrace.PhaseNetwork, nd.cfg.ID, r.start, confirmedAt)
+				w.confirmed = confirmedAt
+			}
 			if w.ch != nil {
 				nd.rstats.index.Add(1)
 			}
@@ -383,7 +411,10 @@ func (nd *Node) resolveRead(w readWaiter, index int, lease bool) {
 		return
 	}
 	if nd.hs.lastApplied >= index {
-		nd.met.onReadServed(readModeLabel(lease), time.Since(w.t0))
+		nd.met.onReadServed(readModeLabel(lease), w.t0)
+		if w.trace != 0 {
+			nd.cfg.Tracer.ObservePhase(w.trace, rtrace.PhaseApply, nd.cfg.ID, w.confirmed, time.Now())
+		}
 		nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: proposeReply{index: index}})
 		return
 	}
@@ -399,7 +430,12 @@ func (nd *Node) drainApplyWaits() {
 	kept := nd.applyWaits[:0]
 	for _, aw := range nd.applyWaits {
 		if nd.hs.lastApplied >= aw.index {
-			nd.met.onReadServed(readModeLabel(aw.lease), time.Since(aw.w.t0))
+			nd.met.onReadServed(readModeLabel(aw.lease), aw.w.t0)
+			if aw.w.trace != 0 {
+				// Apply phase: the read parked until the state machine caught
+				// up to its index.
+				nd.cfg.Tracer.ObservePhase(aw.w.trace, rtrace.PhaseApply, nd.cfg.ID, aw.w.confirmed, time.Now())
+			}
 			nd.replies = append(nd.replies, stagedReply{ch: aw.w.ch, reply: proposeReply{index: aw.index}})
 		} else {
 			kept = append(kept, aw)

@@ -1,0 +1,353 @@
+package rtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"ooc/internal/metrics"
+)
+
+// EventCode classifies a flight-recorder event.
+type EventCode uint8
+
+const (
+	// EvNote is a free-form annotated event.
+	EvNote EventCode = iota
+	// EvElection: a node started an election (became candidate). Trigger.
+	EvElection
+	// EvBecameLeader: a node won an election.
+	EvBecameLeader
+	// EvStepDown: a leader stepped down (higher term observed).
+	EvStepDown
+	// EvLeaseExpired: a leader's read lease lapsed under it. Trigger.
+	EvLeaseExpired
+	// EvMuxDrop: the bounded Mux backlog dropped a message. Trigger.
+	// Note carries the channel the message was tagged for, A the sender.
+	EvMuxDrop
+	// EvViolation: an external checker flagged a violation. Trigger.
+	EvViolation
+	// EvProposeBatch: the leader drained a proposal batch (A = batch
+	// size, B = last appended index).
+	EvProposeBatch
+	// EvCommit: commitIndex advanced (A = new commit index, B = term).
+	EvCommit
+	// EvReadRound: a ReadIndex confirmation round resolved (A = read
+	// index, B = batch size).
+	EvReadRound
+	// EvSnapshot: an InstallSnapshot was sent or applied (A = snapshot
+	// last index).
+	EvSnapshot
+
+	numEventCodes
+)
+
+// String reports the event code's dump label.
+func (c EventCode) String() string {
+	switch c {
+	case EvNote:
+		return "note"
+	case EvElection:
+		return "election"
+	case EvBecameLeader:
+		return "became_leader"
+	case EvStepDown:
+		return "step_down"
+	case EvLeaseExpired:
+		return "lease_expired"
+	case EvMuxDrop:
+		return "mux_backlog_drop"
+	case EvViolation:
+		return "checker_violation"
+	case EvProposeBatch:
+		return "propose_batch"
+	case EvCommit:
+		return "commit"
+	case EvReadRound:
+		return "read_round"
+	case EvSnapshot:
+		return "snapshot"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the code by name.
+func (c EventCode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts an event-code name.
+func (c *EventCode) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	for v := EventCode(0); v < numEventCodes; v++ {
+		if s == `"`+v.String()+`"` {
+			*c = v
+			return nil
+		}
+	}
+	return fmt.Errorf("rtrace: unknown event code %s", s)
+}
+
+// Event is one recorded flight event, as surfaced in snapshots/dumps.
+type Event struct {
+	Seq   uint64    `json:"seq"`
+	Time  time.Time `json:"time"`
+	Node  int       `json:"node"`
+	Code  EventCode `json:"code"`
+	Trace ID        `json:"trace,omitempty"`
+	A     int64     `json:"a,omitempty"`
+	B     int64     `json:"b,omitempty"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// flightSlot is one ring entry. Every field is atomic so concurrent
+// writers and snapshot readers are race-detector clean without a lock:
+// the seq field is a per-slot seqlock — a writer publishes writeSeq =
+// 2*claim+1 while writing and 2*claim+2 when done; a reader accepts a
+// copy only if it observed the same even seq before and after.
+type flightSlot struct {
+	seq   atomic.Uint64
+	time  atomic.Int64 // UnixNano
+	node  atomic.Int64
+	code  atomic.Int64
+	trace atomic.Uint64
+	a     atomic.Int64
+	b     atomic.Int64
+	note  atomic.Pointer[string]
+}
+
+// Flight is a per-node bounded ring of recent annotated events — the
+// always-on black box. Recording is lock-free (one fetch-add to claim a
+// slot, then atomic stores); anomaly triggers snapshot the ring and dump
+// it to disk and/or serve it over /debug/flight. A nil *Flight discards.
+type Flight struct {
+	ring []flightSlot
+	mask uint64
+	head atomic.Uint64
+	node int
+
+	dir      string
+	minGap   int64 // ns between disk dumps
+	lastDump atomic.Int64
+	seqDump  atomic.Uint64
+
+	events *metrics.Counter
+	dumps  *metrics.Counter
+}
+
+// FlightOption configures a Flight.
+type FlightOption func(*Flight)
+
+// WithFlightDir enables disk dumps: each trigger writes
+// flight-node<N>-<seq>.json into dir (rate-limited to one per 250ms).
+func WithFlightDir(dir string) FlightOption {
+	return func(f *Flight) { f.dir = dir }
+}
+
+// WithFlightMetrics counts recorded events and dumps in reg.
+func WithFlightMetrics(reg *metrics.Registry) FlightOption {
+	return func(f *Flight) {
+		f.events = reg.Counter("flight_events_total")
+		f.dumps = reg.Counter("flight_dumps_total")
+	}
+}
+
+// NewFlight builds a recorder for one node. capacity is rounded up to a
+// power of two, minimum 256 — comfortably more than the "triggering
+// event plus the preceding 100" a dump must carry.
+func NewFlight(node, capacity int, opts ...FlightOption) *Flight {
+	size := 256
+	for size < capacity {
+		size <<= 1
+	}
+	f := &Flight{
+		ring:   make([]flightSlot, size),
+		mask:   uint64(size - 1),
+		node:   node,
+		minGap: int64(250 * time.Millisecond),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Record appends one event to the ring. Safe from any goroutine; on the
+// raft loop it costs one clock read and a handful of uncontended atomic
+// stores. note should be "" on hot paths (no allocation); rare anomaly
+// events may carry one.
+func (f *Flight) Record(code EventCode, trace ID, a, b int64, note string) {
+	if f == nil {
+		return
+	}
+	claim := f.head.Add(1) - 1
+	s := &f.ring[claim&f.mask]
+	s.seq.Store(2*claim + 1) // odd: write in progress
+	s.time.Store(time.Now().UnixNano())
+	s.node.Store(int64(f.node))
+	s.code.Store(int64(code))
+	s.trace.Store(uint64(trace))
+	s.a.Store(a)
+	s.b.Store(b)
+	if note != "" {
+		n := note
+		s.note.Store(&n)
+	} else {
+		s.note.Store(nil)
+	}
+	s.seq.Store(2*claim + 2) // even: stable
+	f.events.Inc(f.node)
+}
+
+// Note records a free-form annotated event.
+func (f *Flight) Note(note string) { f.Record(EvNote, 0, 0, 0, note) }
+
+// Snapshot copies the stable ring contents, oldest first. Torn slots
+// (concurrent writers mid-store) and never-written slots are skipped, so
+// a snapshot taken during heavy traffic is consistent if slightly short.
+func (f *Flight) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	head := f.head.Load()
+	size := uint64(len(f.ring))
+	start := uint64(0)
+	if head > size {
+		start = head - size
+	}
+	out := make([]Event, 0, head-start)
+	for claim := start; claim < head; claim++ {
+		s := &f.ring[claim&f.mask]
+		want := 2*claim + 2
+		if s.seq.Load() != want {
+			continue // torn, overwritten, or not yet published
+		}
+		ev := Event{
+			Seq:   claim,
+			Time:  time.Unix(0, s.time.Load()),
+			Node:  int(s.node.Load()),
+			Code:  EventCode(s.code.Load()),
+			Trace: ID(s.trace.Load()),
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+		}
+		if n := s.note.Load(); n != nil {
+			ev.Note = *n
+		}
+		if s.seq.Load() != want {
+			continue // overwritten while copying
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// FlightDump is the on-disk/HTTP form of a triggered snapshot.
+type FlightDump struct {
+	Node    int       `json:"node"`
+	Reason  string    `json:"reason"`
+	Trigger Event     `json:"trigger"`
+	At      time.Time `json:"at"`
+	Events  []Event   `json:"events"`
+}
+
+// Trigger records the anomaly event and, if a dump directory is
+// configured and the rate limit allows, writes the ring snapshot to
+// disk. It returns the path written ("" when rate-limited or disk dumps
+// are disabled). The trigger event itself is in the snapshot — it is
+// recorded first — so dumps always contain their own cause.
+func (f *Flight) Trigger(code EventCode, trace ID, a, b int64, note string) string {
+	if f == nil {
+		return ""
+	}
+	f.Record(code, trace, a, b, note)
+	if f.dir == "" {
+		return ""
+	}
+	now := time.Now().UnixNano()
+	last := f.lastDump.Load()
+	if now-last < f.minGap || !f.lastDump.CompareAndSwap(last, now) {
+		return ""
+	}
+	events := f.Snapshot()
+	var trig Event
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Code == code {
+			trig = events[i]
+			break
+		}
+	}
+	dump := FlightDump{
+		Node: f.node, Reason: code.String(), Trigger: trig,
+		At: time.Unix(0, now), Events: events,
+	}
+	path := filepath.Join(f.dir,
+		fmt.Sprintf("flight-node%d-%d.json", f.node, f.seqDump.Add(1)))
+	if err := writeDump(path, dump); err != nil {
+		return ""
+	}
+	f.dumps.Inc(f.node)
+	return path
+}
+
+func writeDump(path string, dump FlightDump) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(dump); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// WriteJSON writes the current ring snapshot as a FlightDump with
+// reason "snapshot" — the /debug/flight payload.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	dump := FlightDump{Reason: "snapshot", At: time.Now()}
+	if f != nil {
+		dump.Node = f.node
+		dump.Events = f.Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dump)
+}
+
+// Handler serves the ring over HTTP (mounted at /debug/flight).
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = f.WriteJSON(w)
+	})
+}
+
+// ReadFlightDump parses a dump written by Trigger or WriteJSON.
+func ReadFlightDump(r io.Reader) (FlightDump, error) {
+	var d FlightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return d, fmt.Errorf("rtrace: parse flight dump: %w", err)
+	}
+	return d, nil
+}
+
+// ReadFlightDumpFile parses the dump at path.
+func ReadFlightDumpFile(path string) (FlightDump, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return FlightDump{}, fmt.Errorf("rtrace: open flight dump: %w", err)
+	}
+	defer fh.Close()
+	return ReadFlightDump(fh)
+}

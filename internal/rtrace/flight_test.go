@@ -1,0 +1,212 @@
+package rtrace
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ooc/internal/metrics"
+)
+
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(1, 256)
+	const total = 600 // > 2× capacity: the ring must wrap twice
+	for i := 0; i < total; i++ {
+		f.Record(EvCommit, 0, int64(i), 0, "")
+	}
+	evs := f.Snapshot()
+	if len(evs) == 0 || len(evs) > 256 {
+		t.Fatalf("snapshot size %d, want (0, 256]", len(evs))
+	}
+	// Oldest-first, contiguous, ending at the newest record.
+	for i, ev := range evs {
+		if ev.Code != EvCommit || ev.Node != 1 {
+			t.Fatalf("event %d corrupted: %+v", i, ev)
+		}
+		if i > 0 && ev.Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d: %d after %d", i, ev.Seq, evs[i-1].Seq)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Seq != total-1 || last.A != total-1 {
+		t.Fatalf("newest event = seq %d A=%d, want %d", last.Seq, last.A, total-1)
+	}
+	if first := evs[0]; first.Seq < total-256 {
+		t.Fatalf("snapshot kept seq %d, older than capacity allows (%d)", first.Seq, total-256)
+	}
+}
+
+func TestFlightTriggerDumpsWithHistory(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	f := NewFlight(2, 1024, WithFlightDir(dir), WithFlightMetrics(reg))
+	// An anomaly dump must carry its trigger plus at least the 100
+	// preceding events — the flight recorder's reason to exist.
+	for i := 0; i < 150; i++ {
+		f.Record(EvProposeBatch, 0, int64(i), int64(i), "")
+	}
+	path := f.Trigger(EvElection, 0, 7, 42, "term bump")
+	if path == "" {
+		t.Fatal("first Trigger with a dump dir must write a file")
+	}
+	dump, err := ReadFlightDumpFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Node != 2 || dump.Reason != "election" {
+		t.Fatalf("dump header wrong: node=%d reason=%q", dump.Node, dump.Reason)
+	}
+	if dump.Trigger.Code != EvElection || dump.Trigger.A != 7 || dump.Trigger.Note != "term bump" {
+		t.Fatalf("trigger event wrong: %+v", dump.Trigger)
+	}
+	if len(dump.Events) < 151 {
+		t.Fatalf("dump has %d events, want the trigger plus >=150 preceding", len(dump.Events))
+	}
+	if lastEv := dump.Events[len(dump.Events)-1]; lastEv.Code != EvElection {
+		t.Fatalf("dump must end at its trigger, ends at %+v", lastEv)
+	}
+
+	// A second trigger inside the rate-limit window records the event but
+	// writes no file.
+	if p2 := f.Trigger(EvLeaseExpired, 0, 0, 0, ""); p2 != "" {
+		t.Fatalf("rate-limited trigger still wrote %s", p2)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "flight-node2-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("dump dir has %d files, want 1", len(files))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["flight_dumps_total"] != 1 {
+		t.Fatalf("dump counter = %d, want 1", snap.Counters["flight_dumps_total"])
+	}
+	if got := snap.Counters["flight_events_total"]; got != 152 {
+		t.Fatalf("event counter = %d, want 152", got)
+	}
+}
+
+func TestFlightTriggerWithoutDirRecordsOnly(t *testing.T) {
+	f := NewFlight(0, 256)
+	if path := f.Trigger(EvMuxDrop, 0, 3, 0, "shard/1"); path != "" {
+		t.Fatalf("dir-less trigger wrote %s", path)
+	}
+	evs := f.Snapshot()
+	if len(evs) != 1 || evs[0].Code != EvMuxDrop || evs[0].Note != "shard/1" {
+		t.Fatalf("trigger event not recorded: %+v", evs)
+	}
+}
+
+func TestFlightNilIsInert(t *testing.T) {
+	var f *Flight
+	f.Record(EvCommit, 0, 1, 2, "")
+	f.Note("nothing")
+	if path := f.Trigger(EvElection, 0, 0, 0, ""); path != "" {
+		t.Fatal("nil Trigger must not dump")
+	}
+	if evs := f.Snapshot(); evs != nil {
+		t.Fatal("nil Snapshot must be nil")
+	}
+}
+
+func TestFlightConcurrentRecordSnapshot(t *testing.T) {
+	f := NewFlight(3, 256)
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, ev := range f.Snapshot() {
+					// A torn read would surface as an impossible event.
+					if ev.Node != 3 || ev.Code >= numEventCodes {
+						t.Errorf("torn event: %+v", ev)
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f.Record(EventCode(uint8(i)%uint8(numEventCodes)), ID(w), int64(i), int64(w), "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	if evs := f.Snapshot(); len(evs) == 0 {
+		t.Fatal("nothing survived the stress run")
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlight(4, 256)
+	f.Note("hello")
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	dump, err := ReadFlightDump(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Node != 4 || dump.Reason != "snapshot" || len(dump.Events) != 1 || dump.Events[0].Note != "hello" {
+		t.Fatalf("handler dump wrong: %+v", dump)
+	}
+}
+
+func TestEventCodeJSONRoundTrip(t *testing.T) {
+	for c := EventCode(0); c < numEventCodes; c++ {
+		b, err := c.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got EventCode
+		if err := got.UnmarshalJSON(b); err != nil {
+			t.Fatalf("code %v: %v", c, err)
+		}
+		if got != c {
+			t.Fatalf("round trip %v → %v", c, got)
+		}
+	}
+}
+
+func TestFlightDumpFileIsValidJSONOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlight(5, 256, WithFlightDir(dir))
+	f.Record(EvCommit, 9, 1, 1, "")
+	path := f.Trigger(EvViolation, 9, 0, 0, "acceptor regressed")
+	if path == "" {
+		t.Fatal("no dump written")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty dump file")
+	}
+	dump, err := ReadFlightDumpFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Trigger.Trace != 9 || dump.Trigger.Note != "acceptor regressed" {
+		t.Fatalf("trigger lost its annotations: %+v", dump.Trigger)
+	}
+	if time.Since(dump.At) > time.Minute {
+		t.Fatalf("dump timestamp implausible: %v", dump.At)
+	}
+}

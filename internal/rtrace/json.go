@@ -1,0 +1,53 @@
+package rtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SpanDump is the on-disk form of a tracer's completed spans — what
+// raftkv -trace-out writes and ooctrace -request reads.
+type SpanDump struct {
+	Spans []Span `json:"spans"`
+}
+
+// WriteJSON dumps the completed spans, oldest first.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(SpanDump{Spans: t.Spans()})
+}
+
+// WriteFile dumps the completed spans to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rtrace: create span dump: %w", err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("rtrace: write span dump: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadSpans parses a span dump produced by WriteJSON.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var d SpanDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("rtrace: parse span dump: %w", err)
+	}
+	return d.Spans, nil
+}
+
+// ReadSpansFile parses the span dump at path.
+func ReadSpansFile(path string) ([]Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rtrace: open span dump: %w", err)
+	}
+	defer f.Close()
+	return ReadSpans(f)
+}

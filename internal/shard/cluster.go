@@ -11,6 +11,7 @@ import (
 	"ooc/internal/metrics"
 	"ooc/internal/msgnet"
 	"ooc/internal/raft"
+	"ooc/internal/rtrace"
 	"ooc/internal/sim"
 )
 
@@ -64,6 +65,16 @@ type Config struct {
 	// MuxOptions are applied to every node's mux (backlog limits; the
 	// drop counter is wired to Metrics automatically).
 	MuxOptions []msgnet.MuxOption
+	// Tracer, if non-nil, samples per-request spans across the whole
+	// stack: every group's client opens spans (raft.WithClientTracer)
+	// and every raft node attributes queue/fsync/network/apply phases
+	// into them (raft.Config.Tracer).
+	Tracer *rtrace.Tracer
+	// Flights, if non-nil, holds one flight recorder per node (indexed
+	// like Endpoints; short or nil-holed slices are fine). Each node's
+	// raft replicas record into it, and its mux's backlog drops trigger
+	// an EvMuxDrop dump with the channel and sender attached.
+	Flights []*rtrace.Flight
 }
 
 // Group is one shard's consensus group: a raft node per processor plus
@@ -209,7 +220,16 @@ func (c *Cluster) Start(ctx context.Context) error {
 	muxOpts := append([]msgnet.MuxOption{msgnet.WithMuxMetrics(c.cfg.Metrics)}, c.cfg.MuxOptions...)
 	c.muxes = make([]*msgnet.Mux, c.n)
 	for id := 0; id < c.n; id++ {
-		c.muxes[id] = msgnet.NewMux(ctx, c.cfg.Endpoints[id], muxOpts...)
+		opts := muxOpts
+		if fl := c.flightFor(id); fl != nil {
+			// A backlog drop is an anomaly worth a dump: record which
+			// channel lost a message and who sent it (ISSUE 8 satellite).
+			opts = append(append([]msgnet.MuxOption(nil), muxOpts...),
+				msgnet.WithMuxDropHook(func(channel string, from int) {
+					fl.Trigger(rtrace.EvMuxDrop, 0, int64(from), 0, channel)
+				}))
+		}
+		c.muxes[id] = msgnet.NewMux(ctx, c.cfg.Endpoints[id], opts...)
 	}
 	for s := range c.groups {
 		g := &Group{
@@ -248,6 +268,8 @@ func (c *Cluster) Start(ctx context.Context) error {
 				StateMachine:        sm,
 				Storage:             store,
 				Metrics:             reg,
+				Tracer:              c.cfg.Tracer,
+				Flight:              c.flightFor(id),
 				MaxEntriesPerAppend: c.cfg.MaxEntriesPerAppend,
 				MaxInflightAppends:  c.cfg.MaxInflightAppends,
 				MaxProposalBatch:    c.cfg.MaxProposalBatch,
@@ -260,7 +282,8 @@ func (c *Cluster) Start(ctx context.Context) error {
 		client, err := raft.NewClient(g.Nodes,
 			raft.WithClientBackoff(c.cfg.ClientBackoff),
 			raft.WithClientRNG(c.cfg.RNG.Stream(clientRole, uint64(s))),
-			raft.WithReadConsistency(c.cfg.ReadMode))
+			raft.WithReadConsistency(c.cfg.ReadMode),
+			raft.WithClientTracer(c.cfg.Tracer))
 		if err != nil {
 			return fmt.Errorf("shard %d client: %w", s, err)
 		}
@@ -281,6 +304,15 @@ func (c *Cluster) Start(ctx context.Context) error {
 	}
 	for _, g := range c.groups {
 		g.Nodes[c.PreferredLeader(g.Shard)].Campaign(nil)
+	}
+	return nil
+}
+
+// flightFor returns node id's flight recorder, nil when none was
+// configured for it.
+func (c *Cluster) flightFor(id int) *rtrace.Flight {
+	if id < len(c.cfg.Flights) {
+		return c.cfg.Flights[id]
 	}
 	return nil
 }

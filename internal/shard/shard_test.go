@@ -34,13 +34,13 @@ func TestDescriptorValidateRejects(t *testing.T) {
 	bad := []Descriptor{
 		{Slots: 0},
 		{Slots: 10},
-		{Slots: 10, Ranges: []Range{{Start: 1, End: 10, Shard: 0}}},                          // gap at 0
-		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 4, End: 10}}},      // overlap
-		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 6, End: 10}}},      // gap
-		{Slots: 10, Ranges: []Range{{Start: 0, End: 10, Shard: -1}}},                         // negative shard
-		{Slots: 10, Ranges: []Range{{Start: 0, End: 0, Shard: 0}, {Start: 0, End: 10}}},      // empty range
-		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}}},                           // short cover
-		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 5, End: 11}}},      // over cover
+		{Slots: 10, Ranges: []Range{{Start: 1, End: 10, Shard: 0}}},                     // gap at 0
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 4, End: 10}}}, // overlap
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 6, End: 10}}}, // gap
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 10, Shard: -1}}},                    // negative shard
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 0, Shard: 0}, {Start: 0, End: 10}}}, // empty range
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}}},                      // short cover
+		{Slots: 10, Ranges: []Range{{Start: 0, End: 5, Shard: 0}, {Start: 5, End: 11}}}, // over cover
 	}
 	for i, d := range bad {
 		if err := d.Validate(); err == nil {

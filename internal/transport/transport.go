@@ -98,6 +98,24 @@ func WithCodec(c Codec) Option {
 	return func(tr *Transport) { tr.codec = c }
 }
 
+// WithMaxFrameVersion caps the codec frame version this transport
+// emits. Pinning codec.Version (1) strips per-request trace IDs instead
+// of emitting VersionTraced frames — the rolling-upgrade knob for
+// clusters with peers that predate the trace field and reject unknown
+// versions (DESIGN §3.5/§3.6). Values outside [1, codec.MaxVersion] are
+// clamped.
+func WithMaxFrameVersion(v byte) Option {
+	return func(tr *Transport) {
+		if v < codec.Version {
+			v = codec.Version
+		}
+		if v > codec.MaxVersion {
+			v = codec.MaxVersion
+		}
+		tr.maxVer = v
+	}
+}
+
 // WithMetrics counts encoded and decoded wire bytes in reg as
 // codec_encode_bytes_total / codec_decode_bytes_total, attributed to
 // this transport's node id. Only binary-codec traffic is counted — the
@@ -113,11 +131,12 @@ func WithMetrics(reg *metrics.Registry) Option {
 
 // Transport is one node's TCP endpoint.
 type Transport struct {
-	id    int
-	addrs []string
-	ln    net.Listener
-	rec   *trace.Recorder
-	codec Codec
+	id     int
+	addrs  []string
+	ln     net.Listener
+	rec    *trace.Recorder
+	codec  Codec
+	maxVer byte // highest codec frame version to emit
 
 	encBytes *metrics.Counter
 	decBytes *metrics.Counter
@@ -170,6 +189,7 @@ func listenOn(id int, addrs []string, ln net.Listener, opts ...Option) *Transpor
 		id:      id,
 		addrs:   append([]string(nil), addrs...),
 		ln:      ln,
+		maxVer:  codec.MaxVersion,
 		conns:   make(map[int]*outConn),
 		inbound: make(map[net.Conn]struct{}),
 		notify:  make(chan struct{}, 1),
@@ -272,9 +292,11 @@ func (tr *Transport) send(to int, payload any, flush bool) error {
 // size without double buffering). Caller holds tr.mu.
 func (tr *Transport) encodeLocked(oc *outConn, payload any) (int, error) {
 	if oc.enc != nil {
-		return 0, oc.enc.Encode(envelope{From: tr.id, Payload: payload})
+		// Gob is the compatibility path: it predates the trace field, so
+		// trace wrappers are stripped rather than gob-encoded.
+		return 0, oc.enc.Encode(envelope{From: tr.id, Payload: msgnet.StripTrace(payload)})
 	}
-	frame, err := codec.Append(oc.scratch[:0], payload)
+	frame, err := codec.AppendMax(oc.scratch[:0], payload, tr.maxVer)
 	oc.scratch = frame[:0] // keep growth for the next frame
 	if err != nil {
 		return 0, err
