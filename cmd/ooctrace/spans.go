@@ -78,11 +78,15 @@ func summarize(s rtrace.Span) spanSummary {
 
 // requestView is the -request detail: the span's phase intervals as
 // offsets from span start, plus the attribution totals. This is the
-// shape CI diffs with -json.
+// shape CI diffs with -json. Overlap is attributed time minus the
+// union of the intervals — zero under the sync write path, and the
+// wall-clock the pipeline hid by running fsync and network
+// concurrently under the pipelined one.
 type requestView struct {
 	spanSummary
-	Start  time.Time       `json:"start"`
-	Phases []phaseInterval `json:"phases"`
+	Start   time.Time       `json:"start"`
+	Overlap time.Duration   `json:"overlap_ns"`
+	Phases  []phaseInterval `json:"phases"`
 }
 
 type phaseInterval struct {
@@ -104,7 +108,36 @@ func viewRequest(s rtrace.Span) requestView {
 			Duration: pi.Duration(),
 		})
 	}
+	if u := unionDuration(v.Phases); v.Attributed > u {
+		v.Overlap = v.Attributed - u
+	}
 	return v
+}
+
+// unionDuration measures the union of the (sorted-by-offset) intervals:
+// wall-clock covered by at least one phase. Attributed minus this is
+// the concurrency the pipeline bought.
+func unionDuration(phases []phaseInterval) time.Duration {
+	var total, curStart, curEnd time.Duration
+	open := false
+	for _, pi := range phases {
+		start, end := pi.Offset, pi.Offset+pi.Duration
+		switch {
+		case !open:
+			curStart, curEnd, open = start, end, true
+		case start <= curEnd:
+			if end > curEnd {
+				curEnd = end
+			}
+		default:
+			total += curEnd - curStart
+			curStart, curEnd = start, end
+		}
+	}
+	if open {
+		total += curEnd - curStart
+	}
+	return total
 }
 
 // runSpans drives the -spans mode: a listing of every span in the
@@ -173,12 +206,25 @@ func printRequest(w io.Writer, s rtrace.Span, jsonOut bool) error {
 		fmt.Fprintf(w, " (errored)")
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "  end-to-end %s, attributed %s (%.0f%% coverage)\n\n",
+	fmt.Fprintf(w, "  end-to-end %s, attributed %s (%.0f%% coverage)",
 		fd(v.Elapsed), fd(v.Attributed), 100*v.Coverage)
+	if v.Overlap > 0 {
+		fmt.Fprintf(w, ", pipelined overlap %s", fd(v.Overlap))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "  %-9s  %-8s  %-5s  %s\n", "offset", "phase", "node", "duration")
+	// Waterfall: each interval as a bar positioned on the span's
+	// timeline. Bars sharing columns are phases running concurrently —
+	// under the pipelined write path fsync and network overlap here;
+	// under -sync-pipeline the bars tile end to end.
+	const waterfallWidth = 48
+	fmt.Fprintf(w, "  %-9s  %-8s  %-5s  %-9s  |%-*s|\n",
+		"offset", "phase", "node", "duration", waterfallWidth, timeAxis(v.Elapsed, waterfallWidth))
 	for _, pi := range v.Phases {
-		fmt.Fprintf(w, "  +%-8s  %-8s  %-5d  %s\n", fd(pi.Offset), pi.Phase, pi.Node, fd(pi.Duration))
+		fmt.Fprintf(w, "  +%-8s  %-8s  %-5d  %-9s  |%s|\n",
+			fd(pi.Offset), pi.Phase, pi.Node, fd(pi.Duration),
+			timelineBar(pi.Offset, pi.Duration, v.Elapsed, waterfallWidth))
 	}
 	fmt.Fprintln(w)
 
@@ -218,6 +264,59 @@ func trunc(s string, n int) string {
 		return s
 	}
 	return s[:n-1] + "…"
+}
+
+// timelineBar positions an interval on a width-column timeline spanning
+// [0, elapsed]: spaces up to the interval's start column, then '#' fill.
+// Non-empty intervals render at least one cell so microsecond phases
+// stay visible next to millisecond ones.
+func timelineBar(offset, dur, elapsed time.Duration, width int) string {
+	if elapsed <= 0 {
+		return fmt.Sprintf("%*s", width, "")
+	}
+	start := int(float64(offset) / float64(elapsed) * float64(width))
+	end := int(float64(offset+dur) / float64(elapsed) * float64(width))
+	if start < 0 {
+		start = 0
+	}
+	if start > width-1 {
+		start = width - 1
+	}
+	if dur > 0 && end <= start {
+		end = start + 1
+	}
+	if end > width {
+		end = width
+	}
+	out := make([]byte, width)
+	for i := range out {
+		if i >= start && i < end {
+			out[i] = '#'
+		} else {
+			out[i] = ' '
+		}
+	}
+	return string(out)
+}
+
+// timeAxis labels the waterfall header with the span's full extent.
+func timeAxis(elapsed time.Duration, width int) string {
+	label := "0s " + barRule(width-len("0s ")-len(fd(elapsed))-1) + " " + fd(elapsed)
+	if len(label) > width {
+		return fd(elapsed)
+	}
+	return label
+}
+
+func barRule(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '-'
+	}
+	return string(out)
 }
 
 func bar(frac float64, width int) string {

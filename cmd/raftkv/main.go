@@ -52,6 +52,11 @@ var (
 	flights []*rtrace.Flight
 )
 
+// syncPipeline mirrors -sync-pipeline; every mode passes it into
+// raft.Config so one binary can A/B the ordered write path against the
+// pipelined default.
+var syncPipeline bool
+
 // newFlights builds count recorders dumping into dir ("" = disabled).
 func newFlights(count int, dir string, reg *metrics.Registry) []*rtrace.Flight {
 	if dir == "" {
@@ -84,8 +89,10 @@ func main() {
 		sample    = flag.Float64("trace-sample", 0, "per-request tracing sample rate in [0,1]; 0 disables (span timelines dump to -trace-out for ooctrace -request)")
 		traceOut  = flag.String("trace-out", "", "write sampled span timelines to this JSON file on exit (requires -trace-sample > 0)")
 		flightDir = flag.String("flight-dir", "", "arm per-node flight recorders dumping recent events to this directory on anomalies (elections, lease expiries, mux backlog drops)")
+		syncPipe  = flag.Bool("sync-pipeline", false, "run the fully ordered write path (fsync before broadcast, apply on the main loop) instead of the pipelined default")
 	)
 	flag.Parse()
+	syncPipeline = *syncPipe
 	transport.Register(raft.WireTypes()...)
 	transport.Register(msgnet.WireTypes()...) // multi-shard traffic rides the mux wrapper
 
@@ -199,6 +206,7 @@ func runBench(n, clients int, duration time.Duration, disk bool, seed uint64,
 		ReadRatio:     readRatio,
 		ReadMode:      readMode,
 		LeaseDuration: lease,
+		SyncPipeline:  syncPipeline,
 	})
 	if err != nil {
 		return err
@@ -233,6 +241,7 @@ func startNode(id int, ep *transport.Transport, kv *raft.KVStore, seed uint64, l
 		Tracer:            tracer,
 		Flight:            flightFor(id),
 		LeaseDuration:     lease,
+		SyncPipeline:      syncPipeline,
 	})
 }
 

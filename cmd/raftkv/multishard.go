@@ -42,6 +42,7 @@ func runMultiShardBench(n, shards, clients int, duration time.Duration, disk boo
 		ReadRatio:       readRatio,
 		ReadMode:        readMode,
 		LeaseDuration:   lease,
+		SyncPipeline:    syncPipeline,
 	})
 	if err != nil {
 		return err
@@ -98,6 +99,7 @@ func runMultiShardDemo(n, shards int, readMode raft.ReadConsistency, lease time.
 		Metrics:           reg,
 		Tracer:            tracer,
 		Flights:           flights,
+		SyncPipeline:      syncPipeline,
 	})
 	if err != nil {
 		return err

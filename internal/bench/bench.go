@@ -169,6 +169,7 @@ func Experiments() []Experiment {
 		{ID: "E14", Name: "Raft closed-loop throughput: coalescing, group commit, pipelining", Run: RunE14, WallClock: true},
 		{ID: "E15", Name: "Raft linearizable reads: ReadIndex, leases, and batching vs the log-command baseline", Run: RunE15, WallClock: true},
 		{ID: "E16", Name: "Multi-Raft scaling: sharded keyspace over independent consensus groups", Run: RunE16, WallClock: true},
+		{ID: "E17", Name: "Raft commit pipeline: parallel leader persist + async apply vs the ordered loop", Run: RunE17, WallClock: true},
 	}
 }
 

@@ -67,6 +67,9 @@ type MultiShardConfig struct {
 	// through the cluster (shard.Config.Tracer / shard.Config.Flights).
 	Tracer  *rtrace.Tracer
 	Flights []*rtrace.Flight
+	// SyncPipeline runs every group's nodes with the fully ordered write
+	// path (raft.Config.SyncPipeline) instead of the pipelined default.
+	SyncPipeline bool
 }
 
 // MultiShardResult is one run's outcome.
@@ -159,11 +162,6 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 			}
 			return fs, nil
 		}
-		defer func() {
-			for _, fs := range files {
-				_ = fs.Close()
-			}
-		}()
 	}
 	cluster, err := shard.NewCluster(shard.Config{
 		Endpoints:         eps,
@@ -178,10 +176,22 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 		Storage:           storage,
 		Metrics:           cfg.Metrics,
 		ShardMetrics:      cfg.ShardMetrics,
+		SyncPipeline:      cfg.SyncPipeline,
 	})
 	if err != nil {
 		return MultiShardResult{}, err
 	}
+	// Files close only after every started node has fully stopped: the
+	// persist workers write until their Done() fires.
+	defer func() {
+		cancel()
+		cluster.Wait()
+		filesMu.Lock()
+		defer filesMu.Unlock()
+		for _, fs := range files {
+			_ = fs.Close()
+		}
+	}()
 	if err := cluster.Start(ctx); err != nil {
 		return MultiShardResult{}, err
 	}
@@ -313,6 +323,11 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 		res.P50 = all[len(all)/2]
 		res.P99 = all[len(all)*99/100]
 	}
+	// Stop the cluster before reading the sync counters so in-flight
+	// persist runs are counted, not raced (the deferred cleanup re-runs
+	// both calls harmlessly).
+	cancel()
+	cluster.Wait()
 	for _, fs := range files {
 		res.Fsyncs += fs.Syncs()
 	}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ooc/internal/rtrace"
+)
+
+// RunE17 measures what the PR9 commit pipeline buys on an fsync-bound
+// cluster: the same closed-loop write load as E14's file rows, but with
+// every log pinned behind a raft.SlowDisk floor so the device term
+// dominates, swept over the write-path mode (sync = the pre-pipeline
+// fully ordered loop, pipelined = parallel leader persist + async
+// apply) and client count. Every request is traced, and the per-phase
+// columns decompose the client-observed latency: under the sync loop
+// fsync and network intervals are sequential so attributed ≈ elapsed;
+// under the pipeline they overlap, so overlap_ms (attributed time in
+// excess of elapsed) is the direct signature of the leader's fsync
+// running concurrently with follower replication.
+func RunE17(s Suite) (Table, error) {
+	tbl := Table{
+		ID: "E17",
+		Title: "Raft commit pipeline: parallel leader persist + async apply vs the ordered loop " +
+			"(closed loop, file storage + 2ms SlowDisk)",
+		Columns: []string{"mode", "clients", "trials", "ops", "ops_per_sec",
+			"p50_ms", "p99_ms", "fsync_ms", "network_ms", "apply_ms", "overlap_ms",
+			"fsyncs_per_op"},
+	}
+	const slowDisk = 2 * time.Millisecond
+	clientCounts := []int{1, 8}
+	duration := 500 * time.Millisecond
+	trials := s.Trials
+	if trials > 3 {
+		trials = 3 // wall-clock bound: each trial runs a real-time window
+	}
+	if s.Quick {
+		clientCounts = []int{1}
+		duration = 200 * time.Millisecond
+		trials = 1
+	}
+	for _, mode := range []string{"sync", "pipelined"} {
+		for _, clients := range clientCounts {
+			reg := s.cellRegistry()
+			var opsPerSec, p50, p99, fsyncMs, netMs, applyMs, overlapMs, fsyncsPerOp stats
+			ops := 0
+			for trial := 0; trial < trials; trial++ {
+				tracer := rtrace.New(rtrace.Options{Sample: 1, Capacity: 1 << 15})
+				res, err := RunRaftThroughput(ThroughputConfig{
+					Nodes:        3,
+					Clients:      clients,
+					Duration:     duration,
+					Seed:         s.BaseSeed + uint64(clients*10+trial),
+					FileStorage:  true,
+					SlowDisk:     slowDisk,
+					SyncPipeline: mode == "sync",
+					Metrics:      reg,
+					Tracer:       tracer,
+				})
+				if err != nil {
+					return tbl, fmt.Errorf("E17 %s/%d: %w", mode, clients, err)
+				}
+				ops += res.Ops
+				opsPerSec.add(res.OpsPerSec)
+				p50.add(res.P50.Seconds() * 1000)
+				p99.add(res.P99.Seconds() * 1000)
+				fsyncsPerOp.add(res.FsyncsPerOp)
+				f, n, a, o := decomposeSpans(tracer.Spans())
+				fsyncMs.add(f)
+				netMs.add(n)
+				applyMs.add(a)
+				overlapMs.add(o)
+			}
+			tbl.AddRow(mode, clients, trials, ops, opsPerSec.mean(),
+				p50.mean(), p99.mean(), fsyncMs.mean(), netMs.mean(),
+				applyMs.mean(), overlapMs.mean(), fsyncsPerOp.mean())
+			if s.CollectMetrics {
+				tbl.attachMetrics(fmt.Sprintf("mode=%s clients=%d", mode, clients), reg.Snapshot())
+			}
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"same closed loop as E14's file rows, with every log wrapped in a 2ms raft.SlowDisk so the device term is pinned",
+		"sync rows run raft.Config.SyncPipeline (the pre-PR9 ordered loop); pipelined rows are the default write path",
+		"fsync/network/apply columns are mean per-span phase totals from full-sample rtrace",
+		"overlap_ms = mean max(0, attributed - elapsed): attributed phase time in excess of wall time, nonzero only when fsync and network run concurrently")
+	return tbl, nil
+}
+
+// decomposeSpans averages the per-phase totals over completed write
+// spans, in milliseconds, plus the mean overlap (attributed time beyond
+// elapsed — the pipelining signature, since phases on one timeline can
+// only exceed it by running concurrently).
+func decomposeSpans(spans []rtrace.Span) (fsyncMs, netMs, applyMs, overlapMs float64) {
+	n := 0
+	for _, sp := range spans {
+		if sp.Err || sp.Remote || len(sp.Phases) == 0 {
+			continue
+		}
+		n++
+		fsyncMs += sp.PhaseTotal(rtrace.PhaseFsync).Seconds() * 1000
+		netMs += sp.PhaseTotal(rtrace.PhaseNetwork).Seconds() * 1000
+		applyMs += sp.PhaseTotal(rtrace.PhaseApply).Seconds() * 1000
+		if over := sp.AttributedTotal() - sp.Elapsed(); over > 0 {
+			overlapMs += over.Seconds() * 1000
+		}
+	}
+	if n > 0 {
+		fsyncMs /= float64(n)
+		netMs /= float64(n)
+		applyMs /= float64(n)
+		overlapMs /= float64(n)
+	}
+	return fsyncMs, netMs, applyMs, overlapMs
+}

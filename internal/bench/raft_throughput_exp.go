@@ -42,6 +42,14 @@ type ThroughputConfig struct {
 	// Metrics, if non-nil, instruments the nodes (batch-size and inflight
 	// histograms land here).
 	Metrics *metrics.Registry
+	// SlowDisk, when > 0, wraps every node's storage in raft.SlowDisk
+	// with this latency per durability barrier, pinning the device term
+	// so runs compare write-path structure rather than host fsync moods.
+	SlowDisk time.Duration
+	// SyncPipeline runs the nodes with the fully ordered write path
+	// (raft.Config.SyncPipeline) — the pre-pipeline baseline E17 compares
+	// against.
+	SyncPipeline bool
 	// Pipeline knobs; zero values take the raft.Config defaults.
 	MaxEntriesPerAppend int
 	MaxInflightAppends  int
@@ -113,6 +121,20 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 
 	nodes := make([]*raft.Node, cfg.Nodes)
 	files := make([]*raft.FileStorage, 0, cfg.Nodes)
+	// Cleanup order matters: a started node's persist worker writes to
+	// its FileStorage until Done() fires, so the files close only after
+	// every node has fully stopped.
+	defer func() {
+		cancel()
+		for _, nd := range nodes {
+			if nd != nil {
+				<-nd.Done()
+			}
+		}
+		for _, fs := range files {
+			_ = fs.Close()
+		}
+	}()
 	for id := 0; id < cfg.Nodes; id++ {
 		var store raft.Storage
 		if cfg.FileStorage {
@@ -120,14 +142,17 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			if err != nil {
 				return ThroughputResult{}, err
 			}
-			defer func() { _ = fs.Close() }()
 			if _, err := fs.Load(); err != nil {
+				_ = fs.Close()
 				return ThroughputResult{}, err
 			}
 			files = append(files, fs)
 			store = fs
 		} else {
 			store = raft.NewMemStorage()
+		}
+		if cfg.SlowDisk > 0 {
+			store = raft.NewSlowDisk(store, cfg.SlowDisk)
 		}
 		node, err := raft.NewNode(raft.Config{
 			ID:                  id,
@@ -144,6 +169,7 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			MaxInflightAppends:  cfg.MaxInflightAppends,
 			MaxProposalBatch:    cfg.MaxProposalBatch,
 			LeaseDuration:       cfg.LeaseDuration,
+			SyncPipeline:        cfg.SyncPipeline,
 		})
 		if err != nil {
 			return ThroughputResult{}, err
@@ -276,6 +302,13 @@ func RunRaftThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			res.StaleReads += stale
 			res.ForwardedReads += fwd
 		}
+	}
+	// Stop the cluster before reading the sync counters so a persist
+	// worker's final fsync is counted, not raced. (cancel and Done are
+	// both idempotent; the deferred cleanup re-runs them harmlessly.)
+	cancel()
+	for _, nd := range nodes {
+		<-nd.Done()
 	}
 	for _, fs := range files {
 		res.Fsyncs += fs.Syncs()

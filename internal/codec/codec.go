@@ -61,8 +61,9 @@ const (
 	tAppendEntries      = 5
 	tAppendEntriesReply = 6
 	tReadIndexRequest   = 7
-	tReadIndexReply     = 8
+	tReadIndexReply     = 8 // pre-PR9 layout, decode-only (no LeaderID field)
 	tInstallSnapshot    = 9
+	tReadIndexReply2    = 10 // adds trailing LeaderID
 	tTagged             = 20 // msgnet.Tagged: [string channel][nested frame body]
 	tGob                = 31 // foreign payload: [bytes gob blob]
 )
@@ -163,12 +164,13 @@ func appendBody(dst []byte, msg any) ([]byte, error) {
 		dst = bin.AppendVarint(dst, m.ID)
 		return bin.AppendBool(dst, m.Lease), nil
 	case raft.ReadIndexReply:
-		dst = append(dst, tReadIndexReply)
+		dst = append(dst, tReadIndexReply2)
 		dst = bin.AppendInt(dst, m.Term)
 		dst = bin.AppendVarint(dst, m.ID)
 		dst = bin.AppendInt(dst, m.Index)
 		dst = bin.AppendBool(dst, m.Success)
-		return bin.AppendBool(dst, m.Lease), nil
+		dst = bin.AppendBool(dst, m.Lease)
+		return bin.AppendInt(dst, m.LeaderID), nil
 	case raft.InstallSnapshot:
 		dst = append(dst, tInstallSnapshot)
 		dst = bin.AppendInt(dst, m.Term)
@@ -273,7 +275,13 @@ func (d *Decoder) readBody(r *bin.Reader) (any, error) {
 		m := raft.ReadIndexRequest{Term: r.Int(), ID: r.Varint(), Lease: r.Bool()}
 		return m, r.Err()
 	case tReadIndexReply:
-		m := raft.ReadIndexReply{Term: r.Int(), ID: r.Varint(), Index: r.Int(), Success: r.Bool(), Lease: r.Bool()}
+		// Old layout from a pre-PR9 peer: no LeaderID on the wire. -1
+		// means "unknown" to the raft layer; the zero value would name
+		// node 0.
+		m := raft.ReadIndexReply{Term: r.Int(), ID: r.Varint(), Index: r.Int(), Success: r.Bool(), Lease: r.Bool(), LeaderID: -1}
+		return m, r.Err()
+	case tReadIndexReply2:
+		m := raft.ReadIndexReply{Term: r.Int(), ID: r.Varint(), Index: r.Int(), Success: r.Bool(), Lease: r.Bool(), LeaderID: r.Int()}
 		return m, r.Err()
 	case tInstallSnapshot:
 		m := raft.InstallSnapshot{Term: r.Int(), LeaderID: r.Int(), LastIncludedIndex: r.Int(), LastIncludedTerm: r.Int(), Data: r.Bytes()}

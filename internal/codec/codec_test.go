@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ooc/internal/codec/bin"
 	"ooc/internal/msgnet"
 	"ooc/internal/raft"
 )
@@ -44,7 +45,8 @@ func wireMessages() []any {
 		raft.AppendEntriesReply{Term: 5, Success: true, MatchIndex: 12, RejectHint: 0, ReadID: 42},
 		raft.AppendEntriesReply{Term: 5, Success: false, MatchIndex: 0, RejectHint: 7},
 		raft.ReadIndexRequest{Term: 5, ID: 77, Lease: true},
-		raft.ReadIndexReply{Term: 5, ID: 77, Index: 12, Success: true, Lease: true},
+		raft.ReadIndexReply{Term: 5, ID: 77, Index: 12, Success: true, Lease: true, LeaderID: 2},
+		raft.ReadIndexReply{Term: 6, ID: 78, Success: false, LeaderID: -1}, // refusal with no known leader
 		raft.InstallSnapshot{Term: 6, LeaderID: 2, LastIncludedIndex: 100, LastIncludedTerm: 5, Data: []byte("snap")},
 		raft.InstallSnapshot{Term: 6, LeaderID: 2, LastIncludedIndex: 100, LastIncludedTerm: 5}, // nil data
 		msgnet.Tagged{Channel: "shard/3", Payload: raft.RequestVote{Term: 2, CandidateID: 1}},
@@ -223,4 +225,42 @@ func TestBufPool(t *testing.T) {
 		t.Fatal("pooled buffer not reset to length 0")
 	}
 	PutBuf(c)
+}
+
+// TestReadIndexReplyLegacyFrameDecodes pins the ReadIndexReply upgrade
+// seam: a pre-LeaderID peer emits the old tag with no trailing field,
+// and the decoder must map it to LeaderID -1 ("unknown") — the zero
+// value would silently name node 0 as the leader.
+func TestReadIndexReplyLegacyFrameDecodes(t *testing.T) {
+	frame := []byte{Version, tReadIndexReply}
+	frame = bin.AppendInt(frame, 5)
+	frame = bin.AppendVarint(frame, 77)
+	frame = bin.AppendInt(frame, 12)
+	frame = bin.AppendBool(frame, true)
+	frame = bin.AppendBool(frame, false)
+	var dec Decoder
+	got, err := dec.Decode(frame)
+	if err != nil {
+		t.Fatalf("legacy frame: %v", err)
+	}
+	want := raft.ReadIndexReply{Term: 5, ID: 77, Index: 12, Success: true, Lease: false, LeaderID: -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy decode = %#v, want %#v", got, want)
+	}
+	// The current encoder always emits the new tag, round-tripping the
+	// hint verbatim.
+	neu, err := Append(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neu[1] != tReadIndexReply2 {
+		t.Fatalf("encoder emitted tag %d, want %d", neu[1], tReadIndexReply2)
+	}
+	back, err := dec.Decode(neu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("new-tag round trip = %#v, want %#v", back, want)
+	}
 }

@@ -3,6 +3,7 @@ package raft
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // appliedNotifier publishes the node's applied index to waiters outside
@@ -19,22 +20,36 @@ type appliedNotifier struct {
 	mu  sync.Mutex
 	idx int
 	ch  chan struct{} // closed and rotated whenever idx advances
+	// cur mirrors idx for lock-free reads: in pipelined mode the apply
+	// worker is the advancing side and the main loop polls the value on
+	// every read it serves (appliedView), so the read must not contend
+	// with waiter wakeups.
+	cur atomic.Int64
 }
 
 func newAppliedNotifier(idx int) *appliedNotifier {
-	return &appliedNotifier{idx: idx, ch: make(chan struct{})}
+	a := &appliedNotifier{idx: idx, ch: make(chan struct{})}
+	a.cur.Store(int64(idx))
+	return a
 }
 
 // advance publishes a new applied index and wakes all current waiters.
-// Called from the node's main loop only.
+// Called from the node's main loop (sync mode) or the apply worker
+// (pipelined mode) — never both.
 func (a *appliedNotifier) advance(idx int) {
 	a.mu.Lock()
 	if idx > a.idx {
 		a.idx = idx
+		a.cur.Store(int64(idx))
 		close(a.ch)
 		a.ch = make(chan struct{})
 	}
 	a.mu.Unlock()
+}
+
+// current reads the published applied index without the lock.
+func (a *appliedNotifier) current() int {
+	return int(a.cur.Load())
 }
 
 // wait blocks until the published applied index reaches index, ctx

@@ -239,7 +239,7 @@ func TestStringers(t *testing.T) {
 		RequestVoteReply{Term: 1}.String():                               "RequestVoteReply{t=1 granted=false}",
 		AppendEntriesReply{Term: 2, Success: true}.String():              "AppendEntriesReply{t=2 ok=true match=0 hint=0 read=0}",
 		ReadIndexRequest{Term: 3, ID: 7}.String():                        "ReadIndexRequest{t=3 id=7 lease=false}",
-		ReadIndexReply{Term: 3, ID: 7, Index: 4, Success: true}.String(): "ReadIndexReply{t=3 id=7 idx=4 ok=true lease=false}",
+		ReadIndexReply{Term: 3, ID: 7, Index: 4, Success: true, LeaderID: 1}.String(): "ReadIndexReply{t=3 id=7 idx=4 ok=true lease=false ldr=1}",
 		DS{Value: 5}.String():                                            "D&S(5)",
 		Follower.String():                                                "follower",
 		Leader.String():                                                  "leader",

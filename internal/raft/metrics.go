@@ -50,6 +50,18 @@ type nodeMetrics struct {
 	leaseExpiries  *metrics.Counter
 	leaseInvalid   *metrics.Counter
 
+	// Commit-pipeline instruments (PR9). Queue depths are gauges sampled
+	// at every enqueue/dequeue; the overlap counters split commits on a
+	// leader by whether the quorum formed before the leader's own fsync
+	// landed (the pipelined win) or after (disk was not the bottleneck);
+	// self-ack lag is commitIndex − durableIndex at the moment the
+	// leader's fsync completes, i.e. how far the followers ran ahead.
+	persistDepth   *metrics.Gauge
+	applyDepth     *metrics.Gauge
+	commitOverlap  *metrics.Counter // commit reached before leader fsync
+	commitInOrder  *metrics.Counter // leader fsync landed first
+	selfAckLag     *metrics.Histogram
+
 	// pending maps a leader-appended log index to its append time; the
 	// entry is consumed when that index commits. Losing leadership
 	// abandons the map (those entries may commit under a later leader,
@@ -93,6 +105,11 @@ func newNodeMetrics(reg *metrics.Registry, id int) *nodeMetrics {
 		leaseHolds:     reg.Counter(metrics.Label("raft_lease_holds_total", "node", node)),
 		leaseExpiries:  reg.Counter(metrics.Label("raft_lease_expiries_total", "node", node)),
 		leaseInvalid:   reg.Counter(metrics.Label("raft_lease_invalidations_total", "node", node)),
+		persistDepth:   reg.Gauge(metrics.Label("raft_pipeline_persist_queue_depth", "node", node)),
+		applyDepth:     reg.Gauge(metrics.Label("raft_pipeline_apply_queue_depth", "node", node)),
+		commitOverlap:  reg.Counter(metrics.Label("raft_pipeline_commit_before_fsync_total", "node", node)),
+		commitInOrder:  reg.Counter(metrics.Label("raft_pipeline_fsync_before_commit_total", "node", node)),
+		selfAckLag:     reg.Histogram(metrics.Label("raft_pipeline_selfack_lag_entries", "node", node), countBuckets),
 		pending:        make(map[int]time.Time),
 	}
 }
@@ -234,6 +251,52 @@ func (m *nodeMetrics) onLeaseInvalidated() {
 	if m.enabled {
 		m.leaseInvalid.Inc(m.node)
 	}
+}
+
+// onPersistDepth samples the persist-queue depth after an enqueue or a
+// completion. Called only from the main loop.
+func (m *nodeMetrics) onPersistDepth(depth int) {
+	if m.enabled {
+		m.persistDepth.Set(int64(depth))
+	}
+}
+
+// onApplyDepth samples the apply-queue depth after an enqueue. Called
+// only from the main loop (the worker-side drain is not sampled; the
+// gauge tracks the high-water side, which is what backpressure tuning
+// needs).
+func (m *nodeMetrics) onApplyDepth(depth int) {
+	if m.enabled {
+		m.applyDepth.Set(int64(depth))
+	}
+}
+
+// onCommitOverlap classifies a leader-side commit advance: commitFirst
+// means the quorum formed from follower acks while the leader's own
+// fsync was still in flight — the case the pipelined write path exists
+// for. The two counters together give the overlap ratio.
+func (m *nodeMetrics) onCommitOverlap(commitFirst bool) {
+	if !m.enabled {
+		return
+	}
+	if commitFirst {
+		m.commitOverlap.Inc(m.node)
+	} else {
+		m.commitInOrder.Inc(m.node)
+	}
+}
+
+// onSelfAckLag records commitIndex − durableIndex when a leader fsync
+// batch lands: how many committed entries the leader had not yet
+// persisted itself. Negative lag (disk ahead of quorum) clamps to 0.
+func (m *nodeMetrics) onSelfAckLag(lag int) {
+	if !m.enabled {
+		return
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	m.selfAckLag.Observe(m.node, time.Duration(lag))
 }
 
 // dropPending abandons attribution for in-flight entries, called when

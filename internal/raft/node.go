@@ -87,6 +87,20 @@ type Config struct {
 	// single leadership-confirmation round (one heartbeat exchange serves
 	// the whole batch). Default 256; minimum 1.
 	MaxReadBatch int
+	// SyncPipeline restores the fully ordered pre-pipeline write path:
+	// every main-loop iteration fsyncs inline before any message leaves
+	// and applies committed entries before the next iteration runs. The
+	// zero value selects the pipelined path (see pipeline.go), which
+	// overlaps the leader's fsync with replication and moves apply onto
+	// a dedicated goroutine. Sync mode exists for the determinism
+	// harnesses (per-seed traces stay byte-identical) and as the
+	// before-side of the pipeline experiments.
+	SyncPipeline bool
+	// ApplyQueueDepth bounds the pipelined apply queue (items, where an
+	// item is one committed batch, snapshot restore, or parked read). A
+	// full queue blocks the main loop — backpressure, not loss. Default
+	// 256; minimum 1. Ignored in SyncPipeline mode.
+	ApplyQueueDepth int
 	// LeaseDuration enables leader leases for the read fast path: after
 	// each quorum-confirmed round the leader may serve ReadLease reads
 	// without any further messaging until the lease (anchored at the
@@ -149,6 +163,11 @@ func (c *Config) normalize() error {
 	if c.MaxReadBatch < 1 {
 		c.MaxReadBatch = 256
 	}
+	if c.ApplyQueueDepth == 0 {
+		c.ApplyQueueDepth = 256
+	} else if c.ApplyQueueDepth < 1 {
+		c.ApplyQueueDepth = 1
+	}
 	if max := c.ElectionTimeout * 9 / 10; c.LeaseDuration > max {
 		c.LeaseDuration = max // clock-skew discount; see Config.LeaseDuration
 	}
@@ -184,6 +203,27 @@ type Node struct {
 	outbox     []outMsg
 	replies    []stagedReply
 
+	// Pipelined write path (see pipeline.go). pipeApply runs the apply
+	// worker; pipePersist additionally runs the persist worker (it needs
+	// a Storage to be worth a goroutine). durableIndex is the highest log
+	// index the leader's own disk holds — its self-ack for quorum —
+	// raised as persist batches complete (FIFO targets in
+	// pendingPersist, clamped by truncations while in flight).
+	pipeApply     bool
+	pipePersist   bool
+	applyQ        chan applyItem
+	applyErrCh    chan error
+	compactCh     chan compactReq
+	persistQ      chan persistReq
+	persistDoneCh chan persistDone
+
+	durableIndex   int
+	pendingPersist []int
+	pendingSnap    *snapStage
+	snapAfterMuts  int
+	snapCache      snapCache
+	bootSnapIndex  int
+
 	// Read fast-path state (see read.go). Leader side: readSeq numbers
 	// confirmation rounds, reads holds the unconfirmed ones, curRound is
 	// this iteration's coalescing target, earlyReads park until the
@@ -216,6 +256,8 @@ type Node struct {
 	statusCh   chan chan Status
 	stopped    chan struct{}
 	stopOnce   sync.Once
+	done       chan struct{}
+	workers    sync.WaitGroup
 
 	subMu sync.Mutex
 	subs  []*Subscription
@@ -233,6 +275,11 @@ type outMsg struct {
 type stagedReply struct {
 	ch    chan proposeReply
 	reply proposeReply
+	// fenced marks a reply that externalizes durable state (a proposal
+	// acceptance: "your entry is in the leader's log") and must wait for
+	// the persist queue in pipelined mode. Redirects and read answers
+	// claim nothing the disk has to back, so they leave immediately.
+	fenced bool
 }
 
 type proposeReq struct {
@@ -276,12 +323,15 @@ func NewNode(cfg Config) (*Node, error) {
 		campaignCh: make(chan any, 1),
 		statusCh:   make(chan chan Status),
 		stopped:    make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+	var bootSnapData []byte
 	if cfg.Storage != nil {
 		st, err := cfg.Storage.Load()
 		if err != nil {
 			return nil, fmt.Errorf("raft: restore: %w", err)
 		}
+		bootSnapData = st.SnapData
 		nd.hs.currentTerm = st.Term
 		nd.hs.votedFor = st.VotedFor
 		nd.hs.log.entries = append([]Entry(nil), st.Entries...)
@@ -302,6 +352,22 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	nd.applied = newAppliedNotifier(nd.hs.lastApplied)
+	nd.pipeApply = !cfg.SyncPipeline
+	nd.pipePersist = nd.pipeApply && cfg.Storage != nil
+	if nd.pipeApply {
+		nd.applyQ = make(chan applyItem, cfg.ApplyQueueDepth)
+		nd.applyErrCh = make(chan error, 1)
+		nd.compactCh = make(chan compactReq, 1)
+		nd.bootSnapIndex = nd.hs.log.snapIndex
+		nd.snapCache = snapCache{index: nd.hs.log.snapIndex, data: bootSnapData}
+	}
+	if nd.pipePersist {
+		nd.persistQ = make(chan persistReq, persistQueueCap)
+		// Sized past the queue cap so the worker's completion send never
+		// blocks: the loop may block toward the worker, never vice versa.
+		nd.persistDoneCh = make(chan persistDone, persistQueueCap+2)
+		nd.durableIndex = nd.hs.log.lastIndex() // the restored log IS the disk
+	}
 	return nd, nil
 }
 
@@ -387,12 +453,19 @@ func (nd *Node) flushPersist() {
 	}
 }
 
-// flush ends a main-loop iteration: durable state hits storage first,
-// and only then do the staged sends and proposal replies leave the node
-// — the Raft rule that persistence precedes externalization, preserved
-// across batching. A persistence failure drops the outbox (nothing may
-// be externalized over unpersisted state) and stops the node.
+// flush ends a main-loop iteration. In sync mode durable state hits
+// storage first, and only then do the staged sends and proposal replies
+// leave the node — the Raft rule that persistence precedes
+// externalization, preserved across batching. In pipelined mode the
+// same rule is enforced per message class instead (flushPipelined):
+// fenced externalizations ride the persist queue while everything else
+// departs immediately. A persistence failure drops the outbox (nothing
+// may be externalized over unpersisted state) and stops the node.
 func (nd *Node) flush() {
+	if nd.pipePersist {
+		nd.flushPipelined()
+		return
+	}
 	nd.flushPersist()
 	if nd.fatal != nil {
 		nd.outbox = nd.outbox[:0]
@@ -422,8 +495,24 @@ func (nd *Node) Start(ctx context.Context) {
 	// loop's drain can coalesce a burst of messages into one iteration —
 	// one storage flush, one batch of sends.
 	msgCh := make(chan msgnet.Message, 4*maxMessageDrain)
+	if nd.pipeApply {
+		nd.workers.Add(1)
+		go nd.applyWorker()
+	}
+	if nd.pipePersist {
+		nd.workers.Add(1)
+		go nd.persistWorker()
+	}
 	go nd.receive(ctx, msgCh)
 	go nd.run(ctx, msgCh)
+	// Done() must not fire while a worker could still be mid-write: a
+	// persist worker's fsync outlives the main loop by up to one run,
+	// and callers close the Storage as soon as Done fires.
+	go func() {
+		<-nd.stopped
+		nd.workers.Wait()
+		close(nd.done)
+	}()
 }
 
 // maxMessageDrain bounds how many queued messages one main-loop
@@ -519,6 +608,19 @@ func (nd *Node) run(ctx context.Context, msgCh <-chan msgnet.Message) {
 
 		case ch := <-nd.statusCh:
 			ch <- nd.statusLocked()
+
+		// Pipeline completions (nil channels in sync mode — the cases
+		// then never fire): a persist batch landed (raise durableIndex,
+		// externalize its fenced bundle, count the self-ack), the apply
+		// worker offered a compaction snapshot, or it hit a fatal error.
+		case d := <-nd.persistDoneCh:
+			nd.onPersistDone(d)
+
+		case c := <-nd.compactCh:
+			nd.onCompactReady(c)
+
+		case err := <-nd.applyErrCh:
+			nd.fatal = err
 		}
 		nd.flush()
 		if nd.fatal != nil {
@@ -682,10 +784,12 @@ func (nd *Node) Propose(ctx context.Context, cmd any) (index int, err error) {
 // after a ReadIndex round proves the applied state is fresh enough.
 func (nd *Node) StateMachine() StateMachine { return nd.cfg.StateMachine }
 
-// Done is closed when the node has fully stopped. Restart orchestration
+// Done is closed when the node has fully stopped: the main loop has
+// exited AND the persist/apply workers have drained, so the Storage has
+// no in-flight writes and may be closed. Restart orchestration
 // (crash-recovery with a shared endpoint or storage) must wait for it
 // before booting a replacement node.
-func (nd *Node) Done() <-chan struct{} { return nd.stopped }
+func (nd *Node) Done() <-chan struct{} { return nd.done }
 
 // Status snapshots the node's state.
 func (nd *Node) Status() Status {
@@ -705,7 +809,7 @@ func (nd *Node) statusLocked() Status {
 		State:         nd.hs.state,
 		LeaderID:      nd.hs.leaderID,
 		CommitIndex:   nd.hs.commitIndex,
-		LastApplied:   nd.hs.lastApplied,
+		LastApplied:   nd.appliedView(),
 		LogLength:     nd.hs.log.lastIndex(),
 		LastLogTerm:   nd.hs.log.lastTerm(),
 		SnapshotIndex: nd.hs.log.snapIndex,
@@ -989,7 +1093,14 @@ func (nd *Node) becomeLeader() {
 	nd.hs.state = Leader
 	nd.hs.leaderID = nd.cfg.ID
 	nd.ls = newLeaderState(nd.n, nd.hs.log.lastIndex())
-	nd.ls.matchIndex[nd.cfg.ID] = nd.hs.log.lastIndex()
+	if nd.pipePersist {
+		// The self-ack is the disk's, not the in-memory log's: entries
+		// still in the persist queue count toward quorum only when their
+		// batch lands (onPersistDone).
+		nd.ls.matchIndex[nd.cfg.ID] = nd.durableIndex
+	} else {
+		nd.ls.matchIndex[nd.cfg.ID] = nd.hs.log.lastIndex()
+	}
 	nd.emit(Event{Kind: EventBecameLeader, Node: nd.cfg.ID, Term: nd.hs.currentTerm})
 	nd.cfg.Recorder.Note(nd.cfg.ID, "raft: leader of term %d", nd.hs.currentTerm)
 
@@ -1029,7 +1140,7 @@ func (nd *Node) handleProposeBatch(reqs []proposeReq) {
 	first := nd.appendLocalBatch(cmds)
 	var drained time.Time // one clock read even if several proposals are sampled
 	for i, r := range reqs {
-		nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: first + i}})
+		nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: first + i}, fenced: true})
 		if r.trace != 0 {
 			if drained.IsZero() {
 				drained = time.Now()
@@ -1057,7 +1168,12 @@ func (nd *Node) appendLocalBatch(cmds []any) int {
 	}
 	last := nd.hs.log.lastIndex()
 	nd.persistLog(first-1, nd.hs.log.slice(first))
-	nd.ls.matchIndex[nd.cfg.ID] = last
+	if !nd.pipePersist {
+		// Pipelined, the leader's self-ack lands with its fsync: see
+		// onPersistDone. Here the inline flush below makes it durable
+		// before anything externalizes, so the ack is immediate.
+		nd.ls.matchIndex[nd.cfg.ID] = last
+	}
 	for idx := first; idx <= last; idx++ {
 		e, _ := nd.hs.log.entryAt(idx)
 		nd.emit(Event{Kind: EventAppended, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: idx, Command: e.Command})
@@ -1190,10 +1306,22 @@ func (nd *Node) sendSnapshot(to int) {
 		nd.cfg.Recorder.Note(nd.cfg.ID, "raft: cannot snapshot: state machine is not a Snapshotter")
 		return
 	}
-	data, err := snap.SnapshotData()
-	if err != nil {
-		nd.fatal = fmt.Errorf("raft: snapshot: %w", err)
-		return
+	var data []byte
+	if nd.pipeApply {
+		// The apply worker may be mid-Apply: use the cached payload that
+		// every snapIndex move refreshed rather than racing SnapshotData.
+		if nd.snapCache.index != nd.hs.log.snapIndex {
+			nd.cfg.Recorder.Note(nd.cfg.ID, "raft: no cached snapshot at %d; deferring send", nd.hs.log.snapIndex)
+			return
+		}
+		data = nd.snapCache.data
+	} else {
+		var err error
+		data, err = snap.SnapshotData()
+		if err != nil {
+			nd.fatal = fmt.Errorf("raft: snapshot: %w", err)
+			return
+		}
 	}
 	nd.cfg.Flight.Record(rtrace.EvSnapshot, 0, int64(nd.hs.log.snapIndex), int64(to), "send")
 	nd.send(to, InstallSnapshot{
@@ -1233,11 +1361,27 @@ func (nd *Node) onInstallSnapshot(from int, m InstallSnapshot) {
 		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: false})
 		return
 	}
+	nd.cfg.Flight.Record(rtrace.EvSnapshot, 0, int64(m.LastIncludedIndex), int64(from), "install")
+	if nd.pipeApply {
+		// The state machine belongs to the apply worker: the restore
+		// rides the queue (ordered after any still-queued apply batches),
+		// the durable record rides the persist queue, and the fenced ack
+		// below departs only once that record is on disk.
+		nd.hs.log.restoreSnapshot(m.LastIncludedIndex, m.LastIncludedTerm)
+		if nd.pipePersist {
+			nd.stageSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
+		}
+		nd.hs.commitIndex = m.LastIncludedIndex
+		nd.hs.lastApplied = m.LastIncludedIndex
+		nd.snapCache = snapCache{index: m.LastIncludedIndex, data: m.Data}
+		nd.enqueueApply(applyItem{term: nd.hs.currentTerm, restore: &snapStage{index: m.LastIncludedIndex, term: m.LastIncludedTerm, data: m.Data}})
+		nd.send(from, AppendEntriesReply{Term: nd.hs.currentTerm, Success: true, MatchIndex: m.LastIncludedIndex})
+		return
+	}
 	if err := snap.RestoreSnapshot(m.LastIncludedIndex, m.Data); err != nil {
 		nd.fatal = fmt.Errorf("raft: install snapshot: %w", err)
 		return
 	}
-	nd.cfg.Flight.Record(rtrace.EvSnapshot, 0, int64(m.LastIncludedIndex), int64(from), "install")
 	nd.hs.log.restoreSnapshot(m.LastIncludedIndex, m.LastIncludedTerm)
 	nd.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
 	nd.hs.commitIndex = m.LastIncludedIndex
@@ -1249,9 +1393,12 @@ func (nd *Node) onInstallSnapshot(from int, m InstallSnapshot) {
 }
 
 // maybeCompact snapshots the state machine and discards the applied log
-// prefix once it exceeds the configured threshold.
+// prefix once it exceeds the configured threshold. Sync mode only: the
+// pipelined path drives compaction from the apply worker
+// (maybeCompactAsync → compactCh → onCompactReady), which is the only
+// goroutine that can capture a consistent SnapshotData.
 func (nd *Node) maybeCompact() {
-	if nd.cfg.SnapshotThreshold <= 0 {
+	if nd.cfg.SnapshotThreshold <= 0 || nd.pipeApply {
 		return
 	}
 	if nd.hs.lastApplied-nd.hs.log.snapIndex < nd.cfg.SnapshotThreshold {
@@ -1314,6 +1461,15 @@ func (nd *Node) setCommitIndex(index int) {
 	for i := old + 1; i <= index; i++ {
 		e, _ := nd.hs.log.entryAt(i)
 		nd.emit(Event{Kind: EventCommitted, Node: nd.cfg.ID, Term: nd.hs.currentTerm, Index: i, Command: e.Command})
+	}
+	if nd.pipeApply {
+		if nd.pipePersist && nd.hs.state == Leader {
+			// Overlap attribution: did the quorum outrun the local disk?
+			nd.met.onCommitOverlap(nd.durableIndex < index)
+		}
+		nd.enqueueApplyEntries(old, index)
+		nd.dispatchEarlyReads()
+		return
 	}
 	for nd.hs.lastApplied < nd.hs.commitIndex {
 		nd.hs.lastApplied++

@@ -1,0 +1,588 @@
+package raft
+
+// The pipelined write path (the default; Config.SyncPipeline restores
+// the fully ordered one). Two worker goroutines take the blocking halves
+// of the old main-loop iteration off the critical path:
+//
+//   - The persist worker owns every Storage call after boot. The main
+//     loop stages durable mutations exactly as before, but flush() hands
+//     them to the worker instead of fsyncing inline, so AppendEntries
+//     broadcasts depart while the leader's own disk is still syncing.
+//     Commit latency becomes max(leader fsync, follower RTT+fsync)
+//     instead of their sum.
+//   - The apply worker owns StateMachine.Apply, the applied notifier,
+//     and the applied≥readIndex waits, so the main loop can persist and
+//     replicate batch N+1 while batch N applies.
+//
+// Safety is preserved by fencing externalization, not transmission
+// (Raft requires only that persistence precede *externalization*):
+//
+//   - Messages that claim durability — AppendEntriesReply (MatchIndex),
+//     RequestVote (the candidate's bumped term), RequestVoteReply (the
+//     persisted vote) — and proposal replies ride the persist request
+//     and are released by the main loop only after its fsync lands.
+//   - The leader's self-ack counts toward quorum only when its own
+//     batch is durable: matchIndex[self] tracks durableIndex, not the
+//     in-memory log tail, so advanceCommit treats the leader's disk as
+//     just another follower. Commit may be reached by followers alone.
+//   - AppendEntries / InstallSnapshot fan-out, PreVote traffic, and
+//     ReadIndex traffic are unfenced: receivers persist before acking,
+//     and a confirmed read index is quorum-durable by definition.
+//
+// All Endpoint sends and reply-channel sends stay on the main loop: the
+// persist worker returns its release bundle through persistDoneCh and
+// the main loop externalizes it, so netsim's per-sender RNG streams and
+// the transport never see concurrent senders.
+
+import (
+	"fmt"
+	"time"
+
+	"ooc/internal/msgnet"
+	"ooc/internal/rtrace"
+)
+
+// persistQueueCap bounds how many persist batches may be in flight
+// between the main loop and the persist worker. A full queue blocks
+// flush() — persistence backpressure, never dropped work.
+const persistQueueCap = 64
+
+// persistReq is one group-committed batch handed to the persist worker:
+// the staged durable mutations of one (or more) main-loop iterations
+// plus the fenced externalizations that must not depart before the
+// batch is durable.
+type persistReq struct {
+	setState   bool
+	term, vote int
+	muts       []LogMutation
+	// snap, if non-nil, is a snapshot record; snapAfter is how many of
+	// muts logically precede it, preserving on-disk record order.
+	snap      *snapStage
+	snapAfter int
+	// traced lists the sampled ops whose fsync phase this batch closes;
+	// the worker stamps the interval itself, overlapping the network
+	// phase the main loop opened at broadcast departure.
+	traced []rtrace.ID
+	// Release bundle: externalized by the main loop on completion.
+	msgs    []outMsg
+	replies []stagedReply
+}
+
+// snapStage is a staged snapshot record (compaction or InstallSnapshot).
+type snapStage struct {
+	index, term int
+	data        []byte
+}
+
+// persistDone reports the completion of a run of n consecutive batches,
+// FIFO with persistQ. The durable targets ride the main loop's
+// pendingPersist queue instead so truncations can clamp them while the
+// run is in flight; msgs and replies are the runs' release bundles
+// concatenated in staging order.
+type persistDone struct {
+	err     error
+	n       int // persistReqs this run covered
+	msgs    []outMsg
+	replies []stagedReply
+}
+
+// applyItem is one unit of apply-worker input: a batch of committed
+// entries, a snapshot restore, or a read waiter parked until the state
+// machine catches up to its read index.
+type applyItem struct {
+	first   int // index of entries[0], or the restore point
+	entries []Entry
+	term    int
+	restore *snapStage
+	wait    *applyWait
+	// traced carries the apply-phase stamps for sampled entries in this
+	// batch: the worker closes committed→applied.
+	traced []applyTrace
+}
+
+type applyTrace struct {
+	id        rtrace.ID
+	committed time.Time
+}
+
+// compactReq asks the main loop to compact the log through index; data
+// is the state machine's snapshot at exactly that index, captured by
+// the apply worker (the sole applier, so the capture is consistent).
+type compactReq struct {
+	index int
+	data  []byte
+}
+
+// snapCache is the main loop's copy of the latest snapshot data, kept
+// so a leader's sendSnapshot never calls SnapshotData concurrently with
+// the apply worker. Updated wherever snapIndex moves: boot restore,
+// compaction, InstallSnapshot.
+type snapCache struct {
+	index int
+	data  []byte
+}
+
+// fencedMsg reports whether a staged message externalizes durable state
+// and must wait for the in-flight persist queue to drain — the
+// persistence-precedes-externalization rule applied per message class:
+//
+//   - RequestVote follows the candidate's persisted term and self-vote.
+//   - RequestVoteReply follows the voter's persisted vote.
+//   - AppendEntriesReply carries MatchIndex, a durability claim over
+//     this follower's log (and acks InstallSnapshot persistence).
+//
+// Everything else may depart while the disk syncs: AppendEntries and
+// InstallSnapshot receivers persist before acking, PreVote touches no
+// durable state, and ReadIndex indexes are quorum-durable commit
+// indexes.
+func fencedMsg(payload any) bool {
+	if id, inner := msgnet.TraceOf(payload); id != 0 {
+		payload = inner
+	}
+	switch payload.(type) {
+	case AppendEntriesReply, RequestVote, RequestVoteReply:
+		return true
+	}
+	return false
+}
+
+// flushPipelined is flush() for the pipelined persist path: unfenced
+// sends and replies leave immediately; durable mutations and fenced
+// externalizations become one persist request. With nothing durable in
+// flight the fence is already satisfied and everything leaves at once.
+func (nd *Node) flushPipelined() {
+	if nd.fatal != nil {
+		nd.stateDirty = false
+		nd.pendingLog = nil
+		nd.pendingSnap = nil
+		nd.snapAfterMuts = 0
+		nd.tracedUnsynced = nd.tracedUnsynced[:0]
+		nd.outbox = nd.outbox[:0]
+		nd.replies = nd.replies[:0]
+		nd.curRound = nil
+		return
+	}
+	havePersist := nd.stateDirty || len(nd.pendingLog) > 0 || nd.pendingSnap != nil
+	fence := havePersist || len(nd.pendingPersist) > 0
+	var fencedMsgs []outMsg
+	var fencedReplies []stagedReply
+	for _, m := range nd.outbox {
+		if fence && fencedMsg(m.payload) {
+			fencedMsgs = append(fencedMsgs, m)
+			continue
+		}
+		_ = nd.cfg.Endpoint.Send(m.to, m.payload)
+	}
+	nd.outbox = nd.outbox[:0]
+	for _, r := range nd.replies {
+		if fence && r.fenced {
+			fencedReplies = append(fencedReplies, r)
+			continue
+		}
+		r.ch <- r.reply
+	}
+	nd.replies = nd.replies[:0]
+	if havePersist || len(fencedMsgs) > 0 || len(fencedReplies) > 0 {
+		nd.stagePersistBatch(fencedMsgs, fencedReplies)
+	}
+	nd.curRound = nil
+}
+
+// stagePersistBatch hands the iteration's staged durable work (possibly
+// none: a pure fence barrier) to the persist worker and records its
+// durable target. A mutation that truncates below durableIndex clamps
+// both the index and every in-flight batch's target: the disk will hold
+// the *new* entries at those indexes only once this batch lands.
+func (nd *Node) stagePersistBatch(msgs []outMsg, replies []stagedReply) {
+	req := persistReq{
+		setState:  nd.stateDirty,
+		term:      nd.hs.currentTerm,
+		vote:      nd.hs.votedFor,
+		muts:      nd.pendingLog,
+		snap:      nd.pendingSnap,
+		snapAfter: nd.snapAfterMuts,
+		msgs:      msgs,
+		replies:   replies,
+	}
+	nd.stateDirty = false
+	nd.pendingLog = nil // the worker owns the slice now
+	nd.pendingSnap = nil
+	nd.snapAfterMuts = 0
+	if len(nd.tracedUnsynced) > 0 {
+		req.traced = make([]rtrace.ID, 0, len(nd.tracedUnsynced))
+		for _, idx := range nd.tracedUnsynced {
+			if op, ok := nd.traced[idx]; ok {
+				req.traced = append(req.traced, op.id)
+			}
+		}
+		nd.tracedUnsynced = nd.tracedUnsynced[:0]
+	}
+	for _, mut := range req.muts {
+		if mut.PrevIndex < nd.durableIndex {
+			nd.clampDurable(mut.PrevIndex)
+		}
+	}
+	target := nd.hs.log.lastIndex()
+	if target < nd.durableIndex {
+		nd.clampDurable(target) // snapshot install shrank the log
+	}
+	nd.pendingPersist = append(nd.pendingPersist, target)
+	// A full queue is persistence backpressure — but block with the
+	// completion channel in hand, so a worker stalled on a full
+	// persistDoneCh can always make progress and the pair cannot
+	// deadlock.
+	for {
+		select {
+		case nd.persistQ <- req:
+			nd.met.onPersistDepth(len(nd.persistQ))
+			return
+		case d := <-nd.persistDoneCh:
+			nd.onPersistDone(d)
+		}
+	}
+}
+
+// clampDurable lowers durableIndex and every in-flight batch's target
+// to at most idx: entries above it are being rewritten, so completions
+// of older batches must not claim them durable.
+func (nd *Node) clampDurable(idx int) {
+	if idx < nd.durableIndex {
+		nd.durableIndex = idx
+	}
+	for i, t := range nd.pendingPersist {
+		if t > idx {
+			nd.pendingPersist[i] = idx
+		}
+	}
+}
+
+// persistWorker owns Storage after boot: one goroutine, runs in FIFO
+// order, one completion per run through the buffered persistDoneCh. On
+// each wakeup it greedily drains the queue and persists the whole run
+// at once — this is where group commit survives pipelining: the main
+// loop no longer blocks in fsync, so it stages many small batches, and
+// the worker re-coalesces every batch that piled up behind the disk
+// into (usually) a single AppendBatch call, one durability barrier for
+// all of them.
+func (nd *Node) persistWorker() {
+	defer nd.workers.Done()
+	for {
+		select {
+		case req := <-nd.persistQ:
+			reqs := append(make([]persistReq, 0, 16), req)
+		drained:
+			for {
+				select {
+				case r := <-nd.persistQ:
+					reqs = append(reqs, r)
+				default:
+					break drained
+				}
+			}
+			nd.persistDoneCh <- nd.doPersistRun(reqs)
+		case <-nd.stopped:
+			return
+		}
+	}
+}
+
+// doPersistRun executes a run of batches, merging consecutive log
+// mutations into single AppendBatch calls. Scalar state and snapshot
+// records force a flush first, preserving the exact storage-call order
+// the batches were staged in (term/vote of batch i lands after the
+// entries of batches < i, before its own). On error the whole run's
+// release bundle is withheld — nothing externalizes over unpersisted
+// state — and the main loop stops the node.
+func (nd *Node) doPersistRun(reqs []persistReq) persistDone {
+	st := nd.cfg.Storage
+	var muts []LogMutation
+	var traced []rtrace.ID
+	flush := func() error {
+		if len(muts) == 0 {
+			return nil
+		}
+		var t0 time.Time
+		if len(traced) > 0 {
+			t0 = time.Now()
+		}
+		nd.met.onStorageFlush(len(muts)) // atomic instruments; worker-safe
+		if err := st.AppendBatch(muts); err != nil {
+			return err
+		}
+		if len(traced) > 0 {
+			// One group-committed fsync; every traced op in the run
+			// waited the full interval. Stamped here, it overlaps the
+			// network phase the main loop opened at broadcast time.
+			t1 := time.Now()
+			for _, id := range traced {
+				nd.cfg.Tracer.ObservePhase(id, rtrace.PhaseFsync, nd.cfg.ID, t0, t1)
+			}
+		}
+		muts, traced = muts[:0], traced[:0]
+		return nil
+	}
+	done := persistDone{n: len(reqs)}
+	for _, req := range reqs {
+		if req.setState {
+			if err := flush(); err != nil {
+				return persistDone{err: err, n: len(reqs)}
+			}
+			if err := st.SetState(req.term, req.vote); err != nil {
+				return persistDone{err: err, n: len(reqs)}
+			}
+		}
+		pre := req.muts
+		if req.snap != nil {
+			if req.snapAfter < len(pre) {
+				pre = pre[:req.snapAfter]
+			}
+			muts = append(muts, pre...)
+			if err := flush(); err != nil {
+				return persistDone{err: err, n: len(reqs)}
+			}
+			if err := st.SaveSnapshot(req.snap.index, req.snap.term, req.snap.data); err != nil {
+				return persistDone{err: err, n: len(reqs)}
+			}
+			if req.snapAfter < len(req.muts) {
+				muts = append(muts, req.muts[req.snapAfter:]...)
+			}
+		} else {
+			muts = append(muts, pre...)
+		}
+		traced = append(traced, req.traced...)
+		done.msgs = append(done.msgs, req.msgs...)
+		done.replies = append(done.replies, req.replies...)
+	}
+	if err := flush(); err != nil {
+		return persistDone{err: err, n: len(reqs)}
+	}
+	return done
+}
+
+// onPersistDone runs on the main loop when a run of batches lands:
+// raise durableIndex to the run's last (possibly clamped) target,
+// externalize the fenced bundles, and count the leader's self-ack
+// toward quorum — advanceCommit sees the disk as just another
+// matchIndex.
+func (nd *Node) onPersistDone(d persistDone) {
+	n := d.n
+	if n < 1 {
+		n = 1
+	}
+	// Clamping keeps targets non-decreasing, so the run's last is its
+	// highest.
+	target := nd.pendingPersist[n-1]
+	nd.pendingPersist = nd.pendingPersist[n:]
+	nd.met.onPersistDepth(len(nd.persistQ))
+	if d.err != nil {
+		nd.fatal = d.err
+		return
+	}
+	if target > nd.durableIndex {
+		nd.durableIndex = target
+	}
+	for _, m := range d.msgs {
+		_ = nd.cfg.Endpoint.Send(m.to, m.payload)
+	}
+	for _, r := range d.replies {
+		r.ch <- r.reply
+	}
+	if nd.hs.state == Leader && nd.ls != nil {
+		nd.met.onSelfAckLag(nd.hs.commitIndex - nd.durableIndex)
+		if nd.durableIndex > nd.ls.matchIndex[nd.cfg.ID] {
+			nd.ls.matchIndex[nd.cfg.ID] = nd.durableIndex
+			nd.advanceCommit()
+		}
+	}
+}
+
+// stageSnapshot stages a snapshot record for the persist worker,
+// remembering how many already-staged log mutations precede it. A
+// second snapshot in one iteration flushes the first as its own batch —
+// record order on disk must match the logical order of mutations.
+func (nd *Node) stageSnapshot(index, term int, data []byte) {
+	if nd.pendingSnap != nil {
+		nd.stagePersistBatch(nil, nil)
+	}
+	nd.pendingSnap = &snapStage{index: index, term: term, data: data}
+	nd.snapAfterMuts = len(nd.pendingLog)
+}
+
+// enqueueApply hands one item to the apply worker; a full queue blocks
+// the main loop (bounded-queue backpressure, never dropped work).
+func (nd *Node) enqueueApply(it applyItem) {
+	nd.applyQ <- it
+	nd.met.onApplyDepth(len(nd.applyQ))
+}
+
+// enqueueApplyEntries ships the newly committed range (old, index] to
+// the apply worker and closes the traced network phase: with the fsync
+// interval stamped independently by the persist worker, network runs
+// from append/broadcast to quorum commit and the two may overlap.
+func (nd *Node) enqueueApplyEntries(old, index int) {
+	ents := make([]Entry, 0, index-old)
+	for i := old + 1; i <= index; i++ {
+		e, _ := nd.hs.log.entryAt(i)
+		ents = append(ents, e)
+	}
+	var traced []applyTrace
+	if len(nd.traced) > 0 {
+		committed := time.Now()
+		for i := old + 1; i <= index; i++ {
+			if op, ok := nd.traced[i]; ok {
+				nd.cfg.Tracer.ObservePhase(op.id, rtrace.PhaseNetwork, nd.cfg.ID, op.appended, committed)
+				traced = append(traced, applyTrace{id: op.id, committed: committed})
+				delete(nd.traced, i)
+			}
+		}
+	}
+	nd.hs.lastApplied = index // the enqueued frontier; applied publishes the real one
+	nd.enqueueApply(applyItem{first: old + 1, entries: ents, term: nd.hs.currentTerm, traced: traced})
+}
+
+// applyWorker owns the state machine: applies committed batches in
+// order, publishes the applied index, releases parked read waiters, and
+// drives snapshot compaction (it is the only goroutine that may call
+// SnapshotData concurrently with applies).
+func (nd *Node) applyWorker() {
+	defer nd.workers.Done()
+	applied := nd.applied.current()
+	snapBase := nd.bootSnapIndex
+	var waits []applyWait
+	dead := false // a fatal error was reported; drain without applying
+	for {
+		select {
+		case it := <-nd.applyQ:
+			if dead {
+				continue
+			}
+			switch {
+			case it.wait != nil:
+				waits = append(waits, *it.wait)
+			case it.restore != nil:
+				sm, ok := nd.cfg.StateMachine.(Snapshotter)
+				if !ok {
+					dead = nd.applyFatal(fmt.Errorf("raft: install snapshot: state machine is not a Snapshotter"))
+					continue
+				}
+				if err := sm.RestoreSnapshot(it.restore.index, it.restore.data); err != nil {
+					dead = nd.applyFatal(fmt.Errorf("raft: install snapshot: %w", err))
+					continue
+				}
+				applied = it.restore.index
+				snapBase = it.restore.index
+				nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: it.term, Index: applied, Command: nil})
+			default:
+				for i, e := range it.entries {
+					idx := it.first + i
+					if nd.cfg.StateMachine != nil {
+						nd.cfg.StateMachine.Apply(idx, e.Command)
+					}
+					nd.met.onApply()
+					nd.emit(Event{Kind: EventApplied, Node: nd.cfg.ID, Term: it.term, Index: idx, Command: e.Command})
+				}
+				if n := it.first + len(it.entries) - 1; n > applied {
+					applied = n
+				}
+				if len(it.traced) > 0 {
+					now := time.Now()
+					for _, tr := range it.traced {
+						nd.cfg.Tracer.ObservePhase(tr.id, rtrace.PhaseApply, nd.cfg.ID, tr.committed, now)
+					}
+				}
+			}
+			nd.applied.advance(applied)
+			waits = releaseApplyWaits(nd, waits, applied)
+			snapBase = nd.maybeCompactAsync(applied, snapBase)
+		case <-nd.stopped:
+			return
+		}
+	}
+}
+
+// releaseApplyWaits answers every parked read whose index the state
+// machine has now covered. Reply channels are buffered and single-use,
+// so the sends never block the worker.
+func releaseApplyWaits(nd *Node, waits []applyWait, applied int) []applyWait {
+	if len(waits) == 0 {
+		return waits
+	}
+	kept := waits[:0]
+	for _, aw := range waits {
+		if applied >= aw.index {
+			nd.met.onReadServed(readModeLabel(aw.lease), aw.w.t0)
+			if aw.w.trace != 0 {
+				nd.cfg.Tracer.ObservePhase(aw.w.trace, rtrace.PhaseApply, nd.cfg.ID, aw.w.confirmed, time.Now())
+			}
+			aw.w.ch <- proposeReply{index: aw.index}
+		} else {
+			kept = append(kept, aw)
+		}
+	}
+	return kept
+}
+
+// maybeCompactAsync is the apply-side compaction trigger: once the
+// applied index runs SnapshotThreshold past the last snapshot base, the
+// worker captures the state machine's snapshot (consistent: it is the
+// sole applier) and offers it to the main loop, which compacts the log
+// and stages the durable record. A busy main loop skips the offer; the
+// next batch retries.
+func (nd *Node) maybeCompactAsync(applied, snapBase int) int {
+	if nd.cfg.SnapshotThreshold <= 0 || applied-snapBase < nd.cfg.SnapshotThreshold {
+		return snapBase
+	}
+	sm, ok := nd.cfg.StateMachine.(Snapshotter)
+	if !ok {
+		return snapBase
+	}
+	data, err := sm.SnapshotData()
+	if err != nil {
+		nd.applyFatal(fmt.Errorf("raft: snapshot: %w", err))
+		return snapBase
+	}
+	select {
+	case nd.compactCh <- compactReq{index: applied, data: data}:
+		return applied
+	default:
+		return snapBase
+	}
+}
+
+// onCompactReady runs on the main loop: discard the log prefix the
+// snapshot covers and stage the durable record. The snapshot's index is
+// committed and applied, so the entries it covers can never be
+// truncated out from under it.
+func (nd *Node) onCompactReady(c compactReq) {
+	if c.index <= nd.hs.log.snapIndex {
+		return // a restart or InstallSnapshot already moved past it
+	}
+	nd.met.onSnapshot()
+	nd.hs.log.compactTo(c.index)
+	nd.snapCache = snapCache{index: nd.hs.log.snapIndex, data: c.data}
+	if nd.pipePersist {
+		nd.stageSnapshot(nd.hs.log.snapIndex, nd.hs.log.snapTerm, c.data)
+	}
+	nd.cfg.Recorder.Note(nd.cfg.ID, "raft: compacted through index %d", nd.hs.log.snapIndex)
+}
+
+// applyFatal reports a fatal apply-side error to the main loop. The
+// worker keeps draining its queue afterward so the loop can never block
+// on a dead consumer; the loop stops the node when it sees the error.
+func (nd *Node) applyFatal(err error) bool {
+	select {
+	case nd.applyErrCh <- err:
+	default:
+	}
+	return true
+}
+
+// appliedView is the applied index the main loop may externalize: the
+// notifier's published value in pipelined mode (the apply worker is the
+// authority), hs.lastApplied in sync mode.
+func (nd *Node) appliedView() int {
+	if nd.pipeApply {
+		return nd.applied.current()
+	}
+	return nd.hs.lastApplied
+}

@@ -206,7 +206,7 @@ func (nd *Node) handleReadBatch(reqs []readReq) {
 		if r.mode == ReadStale {
 			nd.rstats.stale.Add(1)
 			nd.met.onReadServed("stale", r.t0)
-			nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: nd.hs.lastApplied}})
+			nd.replies = append(nd.replies, stagedReply{ch: r.reply, reply: proposeReply{index: nd.appliedView()}})
 			continue
 		}
 		w := readWaiter{ch: r.reply, lease: r.mode == ReadLease, t0: r.t0, trace: r.trace}
@@ -407,15 +407,23 @@ func readModeLabel(lease bool) string {
 // the index came from a held lease or a quorum round.
 func (nd *Node) resolveRead(w readWaiter, index int, lease bool) {
 	if w.ch == nil {
-		nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Index: index, Success: true, Lease: lease})
+		nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Index: index, Success: true, Lease: lease, LeaderID: nd.cfg.ID})
 		return
 	}
-	if nd.hs.lastApplied >= index {
+	if nd.appliedView() >= index {
 		nd.met.onReadServed(readModeLabel(lease), w.t0)
 		if w.trace != 0 {
 			nd.cfg.Tracer.ObservePhase(w.trace, rtrace.PhaseApply, nd.cfg.ID, w.confirmed, time.Now())
 		}
 		nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: proposeReply{index: index}})
+		return
+	}
+	if nd.pipeApply {
+		// The apply worker owns the applied≥readIndex gate: the waiter
+		// rides the queue and is released the moment the state machine
+		// covers its index (releaseApplyWaits).
+		aw := applyWait{w: w, index: index, lease: lease}
+		nd.enqueueApply(applyItem{wait: &aw})
 		return
 	}
 	nd.applyWaits = append(nd.applyWaits, applyWait{w: w, index: index, lease: lease})
@@ -471,7 +479,7 @@ func (nd *Node) failReads() {
 			if w.ch != nil {
 				nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: rep})
 			} else {
-				nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Success: false})
+				nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Success: false, LeaderID: nd.hs.leaderID})
 			}
 		}
 	}
@@ -481,7 +489,7 @@ func (nd *Node) failReads() {
 		if w.ch != nil {
 			nd.replies = append(nd.replies, stagedReply{ch: w.ch, reply: rep})
 		} else {
-			nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Success: false})
+			nd.send(w.from, ReadIndexReply{Term: nd.hs.currentTerm, ID: w.id, Success: false, LeaderID: nd.hs.leaderID})
 		}
 	}
 	nd.earlyReads = nil
@@ -504,7 +512,10 @@ func (nd *Node) onReadIndexRequest(from int, m ReadIndexRequest) {
 		nd.stepDown(m.Term)
 	}
 	if nd.hs.state != Leader || m.Term != nd.hs.currentTerm {
-		nd.send(from, ReadIndexReply{Term: nd.hs.currentTerm, ID: m.ID, Success: false})
+		// Carry this node's leader hint so the forwarding follower — and
+		// ultimately the remote client — can re-route in one hop instead
+		// of probing (the cross-process NotLeader redirect).
+		nd.send(from, ReadIndexReply{Term: nd.hs.currentTerm, ID: m.ID, Success: false, LeaderID: nd.hs.leaderID})
 		return
 	}
 	nd.leaderRead(readWaiter{from: from, id: m.ID, lease: m.Lease, t0: time.Now()})
@@ -521,7 +532,15 @@ func (nd *Node) onReadIndexReply(from int, m ReadIndexReply) {
 	}
 	delete(nd.relay, m.ID)
 	if !m.Success {
-		nd.replies = append(nd.replies, stagedReply{ch: rw.ch, reply: proposeReply{err: ErrNotLeader{LeaderID: nd.hs.leaderID}}})
+		// Prefer the replier's hint: it refused because it is not the
+		// leader (or not in our term), and it usually knows who is —
+		// fresher than our own leaderID, which may still name the
+		// replier itself.
+		hint := m.LeaderID
+		if hint == none {
+			hint = nd.hs.leaderID
+		}
+		nd.replies = append(nd.replies, stagedReply{ch: rw.ch, reply: proposeReply{err: ErrNotLeader{LeaderID: hint}}})
 		return
 	}
 	if m.Lease {

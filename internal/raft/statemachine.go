@@ -9,7 +9,12 @@ import (
 )
 
 // StateMachine consumes committed log entries in index order.
-// Apply is called from the node's main loop and must not block.
+// Apply is called from a single goroutine: the node's dedicated apply
+// worker under the default pipelined write path, or the main loop under
+// Config.SyncPipeline. An Apply that blocks never loses or reorders
+// entries — the bounded apply queue (Config.ApplyQueueDepth) fills and
+// backpressures the main loop — but it stalls ReadIndex waiters and,
+// once the queue is full, the whole node.
 type StateMachine interface {
 	Apply(index int, command any)
 }

@@ -41,6 +41,10 @@ type Config struct {
 	// ReadMode is the default consistency Get uses (zero =
 	// ReadLinearizable).
 	ReadMode raft.ReadConsistency
+	// SyncPipeline, passed through to every node, restores the fully
+	// ordered single-goroutine write path (raft.Config.SyncPipeline) —
+	// the setting the determinism suites run under.
+	SyncPipeline bool
 	// ClientBackoff is each group client's base retry pause (default
 	// 1ms — the closed-loop benchmark setting).
 	ClientBackoff time.Duration
@@ -143,6 +147,7 @@ type Cluster struct {
 	leads   []int // shards currently led, per node
 	nudges  int   // rebalance campaigns requested
 	started bool
+	running []*raft.Node // nodes Start actually launched, for Wait
 }
 
 // NewCluster validates cfg and sizes the cluster; Start runs it.
@@ -273,6 +278,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 				MaxEntriesPerAppend: c.cfg.MaxEntriesPerAppend,
 				MaxInflightAppends:  c.cfg.MaxInflightAppends,
 				MaxProposalBatch:    c.cfg.MaxProposalBatch,
+				SyncPipeline:        c.cfg.SyncPipeline,
 			})
 			if err != nil {
 				return fmt.Errorf("shard %d node %d: %w", s, id, err)
@@ -300,12 +306,24 @@ func (c *Cluster) Start(ctx context.Context) error {
 	for _, g := range c.groups {
 		for _, node := range g.Nodes {
 			node.Start(ctx)
+			c.running = append(c.running, node)
 		}
 	}
 	for _, g := range c.groups {
 		g.Nodes[c.PreferredLeader(g.Shard)].Campaign(nil)
 	}
 	return nil
+}
+
+// Wait blocks until every node Start launched has fully stopped: main
+// loop exited, persist and apply workers drained. Callers that own the
+// groups' Storage (Config.Storage) must cancel the Start context and
+// Wait before closing it — a pipelined node's persist worker writes
+// until its Done() fires. Call after Start has returned.
+func (c *Cluster) Wait() {
+	for _, nd := range c.running {
+		<-nd.Done()
+	}
 }
 
 // flightFor returns node id's flight recorder, nil when none was
