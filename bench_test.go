@@ -568,6 +568,43 @@ func BenchmarkE16MultiShard(b *testing.B) {
 	}
 }
 
+// BenchmarkE18GroupCommit: experiment E18 — one closed-loop multi-Raft
+// window (4 shards over 3 nodes, file storage) with all of a node's
+// replicas sharing one modeled 2ms device, sync coalescing on. Asserts
+// the node-wide syncer actually merged flushes (mean barrier width above
+// 1) and reports ops/sec plus the device-barrier cost per op.
+func BenchmarkE18GroupCommit(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMultiShard(bench.MultiShardConfig{
+			Nodes:           3,
+			Shards:          4,
+			ClientsPerShard: 1,
+			Duration:        200 * time.Millisecond,
+			Seed:            uint64(i) + 1,
+			FileStorage:     true,
+			DeviceLatency:   2 * time.Millisecond,
+			ElectionTimeout: 150 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ops == 0 {
+			b.Fatal("no ops committed")
+		}
+		if res.Barriers == 0 {
+			b.Fatal("no device barriers recorded: syncer not wired")
+		}
+		if res.MeanWidth <= 1.0 {
+			b.Fatalf("no cross-group coalescing: mean barrier width %.2f over %d barriers",
+				res.MeanWidth, res.Barriers)
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/sec")
+		b.ReportMetric(res.BarriersPerOp, "barriers/op")
+		b.ReportMetric(res.MeanWidth, "width")
+	}
+}
+
 // BenchmarkE17Pipeline: experiment E17 — one closed-loop window against
 // a FileStorage cluster pinned behind a 2ms SlowDisk, on the pipelined
 // write path (parallel leader persist + async apply). Reports committed

@@ -94,6 +94,9 @@ type phaseInterval struct {
 	Node     int           `json:"node"`
 	Offset   time.Duration `json:"offset_ns"` // interval start − span start
 	Duration time.Duration `json:"duration_ns"`
+	// Width, on a fsync interval, is how many groups' flushes shared
+	// the device barrier the interval measures (0/absent = private).
+	Width int `json:"width,omitempty"`
 }
 
 func viewRequest(s rtrace.Span) requestView {
@@ -106,6 +109,7 @@ func viewRequest(s rtrace.Span) requestView {
 			Node:     pi.Node,
 			Offset:   pi.Start.Sub(s.Start),
 			Duration: pi.Duration(),
+			Width:    pi.Width,
 		})
 	}
 	if u := unionDuration(v.Phases); v.Attributed > u {
@@ -219,12 +223,25 @@ func printRequest(w io.Writer, s rtrace.Span, jsonOut bool) error {
 	// under the pipelined write path fsync and network overlap here;
 	// under -sync-pipeline the bars tile end to end.
 	const waterfallWidth = 48
-	fmt.Fprintf(w, "  %-9s  %-8s  %-5s  %-9s  |%-*s|\n",
+	fmt.Fprintf(w, "  %-9s  %-10s  %-5s  %-9s  |%-*s|\n",
 		"offset", "phase", "node", "duration", waterfallWidth, timeAxis(v.Elapsed, waterfallWidth))
+	shared := 0
 	for _, pi := range v.Phases {
-		fmt.Fprintf(w, "  +%-8s  %-8s  %-5d  %-9s  |%s|\n",
-			fd(pi.Offset), pi.Phase, pi.Node, fd(pi.Duration),
+		label := pi.Phase
+		if pi.Width > 1 {
+			label = fmt.Sprintf("%s ×%d", pi.Phase, pi.Width)
+			if pi.Width > shared {
+				shared = pi.Width
+			}
+		}
+		fmt.Fprintf(w, "  +%-8s  %-10s  %-5d  %-9s  |%s|\n",
+			fd(pi.Offset), label, pi.Node, fd(pi.Duration),
 			timelineBar(pi.Offset, pi.Duration, v.Elapsed, waterfallWidth))
+	}
+	if shared > 1 {
+		fmt.Fprintf(w, "  note: fsync ×N marks a SHARED device barrier — N groups' flushes\n")
+		fmt.Fprintf(w, "  coalesced into the one flush this request waited on, so the\n")
+		fmt.Fprintf(w, "  interval's device cost was split N ways (cf. pipelined overlap).\n")
 	}
 	fmt.Fprintln(w)
 

@@ -34,6 +34,7 @@ import (
 	"ooc/internal/raft"
 	"ooc/internal/rtrace"
 	"ooc/internal/sim"
+	"ooc/internal/trace"
 	"ooc/internal/transport"
 )
 
@@ -56,6 +57,35 @@ var (
 // raft.Config so one binary can A/B the ordered write path against the
 // pipelined default.
 var syncPipeline bool
+
+// syncCoalesce mirrors -sync-coalesce (default true): persistent modes
+// install a per-node sync coalescer so concurrent durability barriers
+// from co-located Raft groups merge into one device flush. false keeps
+// the per-group fsync baseline in the same binary, like -sync-pipeline.
+// deviceLatency mirrors -device-latency: a modeled shared-device cost
+// per barrier for the multi-shard bench (the E18 fixture).
+// shardTrace is the multi-shard bench's protocol recorder (non-nil only
+// when -shard-trace-out is set): it captures mux-tagged message events
+// plus per-flush fsync notes, the input for ooctrace's per-channel
+// fsyncs/width columns.
+var (
+	syncCoalesce  bool
+	deviceLatency time.Duration
+	shardTrace    *trace.Recorder
+)
+
+// writeShardTrace dumps the multi-shard bench's protocol trace to path.
+func writeShardTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSON(f, shardTrace.Snapshot()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // newFlights builds count recorders dumping into dir ("" = disabled).
 func newFlights(count int, dir string, reg *metrics.Registry) []*rtrace.Flight {
@@ -90,9 +120,21 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write sampled span timelines to this JSON file on exit (requires -trace-sample > 0)")
 		flightDir = flag.String("flight-dir", "", "arm per-node flight recorders dumping recent events to this directory on anomalies (elections, lease expiries, mux backlog drops)")
 		syncPipe  = flag.Bool("sync-pipeline", false, "run the fully ordered write path (fsync before broadcast, apply on the main loop) instead of the pipelined default")
+		coalesce  = flag.Bool("sync-coalesce", true, "coalesce concurrent fsyncs from co-located Raft groups into one device barrier per node; false = per-group fsync baseline")
+		devLat    = flag.Duration("device-latency", 0, "bench mode with -shards>1: model one shared storage device per node with this latency per durability barrier (the E18 fixture; 0 disables)")
+		shardTr   = flag.String("shard-trace-out", "", "bench mode with -shards>1: write the protocol trace (mux traffic + per-flush fsync notes) to this JSON file for ooctrace's channel table")
 	)
 	flag.Parse()
 	syncPipeline = *syncPipe
+	syncCoalesce = *coalesce
+	deviceLatency = *devLat
+	if *shardTr != "" {
+		if !*benchMode || *shards <= 1 {
+			fmt.Fprintln(os.Stderr, "raftkv: -shard-trace-out needs -bench with -shards > 1")
+			os.Exit(1)
+		}
+		shardTrace = trace.NewTimedRecorder()
+	}
 	transport.Register(raft.WireTypes()...)
 	transport.Register(msgnet.WireTypes()...) // multi-shard traffic rides the mux wrapper
 
@@ -167,6 +209,13 @@ func main() {
 			err = runServer(*id, strings.Split(*peers, ","), readMode, *lease, reg)
 		}
 	}
+	if shardTrace != nil {
+		if werr := writeShardTrace(*shardTr); werr != nil {
+			fmt.Fprintf(os.Stderr, "raftkv: shard trace dump: %v\n", werr)
+		} else {
+			fmt.Printf("protocol trace written to %s (view: ooctrace %s)\n", *shardTr, *shardTr)
+		}
+	}
 	if tracer != nil && *traceOut != "" {
 		if werr := tracer.WriteFile(*traceOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "raftkv: trace dump: %v\n", werr)
@@ -207,6 +256,7 @@ func runBench(n, clients int, duration time.Duration, disk bool, seed uint64,
 		ReadMode:      readMode,
 		LeaseDuration: lease,
 		SyncPipeline:  syncPipeline,
+		SyncCoalesce:  syncCoalesce,
 	})
 	if err != nil {
 		return err

@@ -27,8 +27,15 @@ func runMultiShardBench(n, shards, clients int, duration time.Duration, disk boo
 	if readRatio > 0 {
 		mix = fmt.Sprintf("%.0f%% %v reads", readRatio*100, readMode)
 	}
-	fmt.Printf("raftkv multi-shard bench: %d nodes, %d shards, %d clients/shard, %v window, %s\n",
-		n, shards, clients, duration, mix)
+	fsync := "coalesced"
+	if !syncCoalesce {
+		fsync = "per-group"
+	}
+	if deviceLatency > 0 {
+		fsync += fmt.Sprintf(", %v shared device", deviceLatency)
+	}
+	fmt.Printf("raftkv multi-shard bench: %d nodes, %d shards, %d clients/shard, %v window, %s, fsync %s\n",
+		n, shards, clients, duration, mix, fsync)
 	res, err := bench.RunMultiShard(bench.MultiShardConfig{
 		Nodes:           n,
 		Shards:          shards,
@@ -43,6 +50,9 @@ func runMultiShardBench(n, shards, clients int, duration time.Duration, disk boo
 		ReadMode:        readMode,
 		LeaseDuration:   lease,
 		SyncPipeline:    syncPipeline,
+		DeviceLatency:   deviceLatency,
+		PerGroupFsync:   !syncCoalesce,
+		Recorder:        shardTrace,
 	})
 	if err != nil {
 		return err
@@ -51,7 +61,11 @@ func runMultiShardBench(n, shards, clients int, duration time.Duration, disk boo
 	fmt.Printf("  throughput      %.0f ops/sec\n", res.OpsPerSec)
 	fmt.Printf("  latency p50     %v\n", res.P50.Round(10*time.Microsecond))
 	fmt.Printf("  latency p99     %v\n", res.P99.Round(10*time.Microsecond))
-	fmt.Printf("  fsyncs          %d (%.3f per op)\n", res.Fsyncs, res.FsyncsPerOp)
+	fmt.Printf("  fsyncs          %d (%.3f per op, per-file)\n", res.Fsyncs, res.FsyncsPerOp)
+	if res.Barriers > 0 {
+		fmt.Printf("  device barriers %d (%.3f per op, mean width %.2f)\n",
+			res.Barriers, res.BarriersPerOp, res.MeanWidth)
+	}
 	fmt.Printf("  per-shard ops  ")
 	for s, ops := range res.PerShardOps {
 		fmt.Printf(" shard%d=%d", s, ops)

@@ -170,6 +170,7 @@ func Experiments() []Experiment {
 		{ID: "E15", Name: "Raft linearizable reads: ReadIndex, leases, and batching vs the log-command baseline", Run: RunE15, WallClock: true},
 		{ID: "E16", Name: "Multi-Raft scaling: sharded keyspace over independent consensus groups", Run: RunE16, WallClock: true},
 		{ID: "E17", Name: "Raft commit pipeline: parallel leader persist + async apply vs the ordered loop", Run: RunE17, WallClock: true},
+		{ID: "E18", Name: "Shared-disk group commit: per-node sync coalescing across Raft groups", Run: RunE18, WallClock: true},
 	}
 }
 

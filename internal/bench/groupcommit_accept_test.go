@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ooc/internal/raft"
+)
+
+// TestE18SingleGroupOverhead is the degenerate-case gate for shared-disk
+// group commit: a single-group node gains nothing from coalescing —
+// every Sync is uncontended, width 1 — so installing the syncer must add
+// zero measurable latency to the PR9 flush hot path. (The companion
+// zero-allocation claim is pinned exactly in
+// raft.TestSyncerUncontendedPathAllocFree.)
+//
+// Measurement design, adapted from TestE14DisabledTracingOverhead's ≤3%
+// gate: the tracing gate could flee to the in-memory E14 cell for
+// stability, but the syncer lives inside FileStorage.flush — there is no
+// fsync-free configuration that exercises it, and whole-cluster fsync
+// arms on shared infrastructure swing ±25% between same-config runs,
+// drowning a mutex-sized effect. So the arms interleave per flush
+// instead: two identical logs on the same device, one with the syncer
+// installed, appending the same entry stream strictly alternately (order
+// swapped every iteration). Each arm pays the same real fsyncs
+// microseconds apart, so device-latency drift lands on both sides
+// equally and the total-time ratio isolates the machinery. The strict 3%
+// gate arms under OOC_BENCH_SMOKE=1 (the CI bench-smoke job) with more
+// iterations and one re-measure on failure — the same two-strike rule;
+// otherwise fewer iterations with a loose 25% backstop keep
+// `go test ./...` honest but unflaky.
+func TestE18SingleGroupOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pays thousands of real fsyncs")
+	}
+	strict := os.Getenv("OOC_BENCH_SMOKE") == "1"
+	iters, limit := 300, 0.25
+	if strict {
+		iters, limit = 1000, 0.03
+	}
+	dir := t.TempDir()
+	open := func(name string, sc *raft.SyncCoalescer) *raft.FileStorage {
+		t.Helper()
+		fs, err := raft.OpenFileStorage(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Load(); err != nil {
+			t.Fatal(err)
+		}
+		if sc != nil {
+			fs.SetSyncer(sc)
+		}
+		t.Cleanup(func() { _ = fs.Close() })
+		return fs
+	}
+	plain := open("plain.log", nil)
+	synced := open("synced.log", raft.NewSyncCoalescer(raft.SyncerConfig{}))
+
+	next := 0
+	apply := func(fs *raft.FileStorage, muts []raft.LogMutation) time.Duration {
+		t.Helper()
+		t0 := time.Now()
+		if err := fs.AppendBatch(muts); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	measure := func() (tOff, tOn time.Duration, delta float64) {
+		for i := 0; i < iters; i++ {
+			muts := []raft.LogMutation{{PrevIndex: next, Entries: []raft.Entry{
+				{Term: 1, Command: raft.KVCommand{Op: "set", Key: "k", Value: "v"}},
+			}}}
+			next++
+			// Swap arm order every iteration so a first-mover effect
+			// (page-cache state, timer warmup) can't bias one side.
+			if i%2 == 0 {
+				tOff += apply(plain, muts)
+				tOn += apply(synced, muts)
+			} else {
+				tOn += apply(synced, muts)
+				tOff += apply(plain, muts)
+			}
+		}
+		return tOff, tOn, float64(tOn-tOff) / float64(tOff)
+	}
+	tOff, tOn, delta := measure()
+	t.Logf("%d flushes/arm: plain=%v syncer=%v delta=%.2f%%", iters, tOff, tOn, 100*delta)
+	if delta > limit && strict {
+		// Second strike: one latency burst landing inside a syncer-arm
+		// flush inflates delta; a real machinery tax reproduces.
+		tOff, tOn, delta = measure()
+		t.Logf("re-measure %d flushes/arm: plain=%v syncer=%v delta=%.2f%%", iters, tOff, tOn, 100*delta)
+	}
+	if delta > limit {
+		t.Fatalf("single-group syncer adds %.2f%% flush latency (limit %.0f%%): plain=%v syncer=%v",
+			100*delta, 100*limit, tOff, tOn)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"ooc/internal/rtrace"
 	"ooc/internal/shard"
 	"ooc/internal/sim"
+	"ooc/internal/trace"
 	"ooc/internal/workload"
 )
 
@@ -70,6 +71,22 @@ type MultiShardConfig struct {
 	// SyncPipeline runs every group's nodes with the fully ordered write
 	// path (raft.Config.SyncPipeline) instead of the pipelined default.
 	SyncPipeline bool
+	// DeviceLatency, when > 0, models each node's *shared* storage
+	// device (shard.Config.DeviceLatency → one raft.Disk per node):
+	// every durability barrier from any of the node's groups pays this
+	// latency, and concurrent barriers serialize. Contrast FsyncFloor,
+	// which models an independent device per replica (raft.SlowDisk).
+	// E18 uses DeviceLatency; E16 keeps FsyncFloor.
+	DeviceLatency time.Duration
+	// PerGroupFsync disables cross-group sync coalescing (the pre-PR10
+	// baseline): each group's flush pays its own serialized device
+	// barrier. Zero means the node-wide syncer coalesces them.
+	PerGroupFsync bool
+	// Recorder, when set, captures the run's protocol trace: mux-tagged
+	// message events from the simulated network plus per-flush fsync
+	// notes from every replica's storage (shard.Config.Recorder), the
+	// input behind ooctrace's fsyncs/width channel columns.
+	Recorder *trace.Recorder
 }
 
 // MultiShardResult is one run's outcome.
@@ -80,9 +97,18 @@ type MultiShardResult struct {
 	OpsPerSec   float64       // Ops / wall-clock elapsed
 	P50         time.Duration // client-observed op latency
 	P99         time.Duration
-	Fsyncs      int64   // total fsyncs across all replicas (file storage only)
+	Fsyncs      int64   // total per-file fsyncs across all replicas (file storage only)
 	FsyncsPerOp float64 // Fsyncs / Ops
-	PerShardOps []int   // completed ops attributed to each shard
+	// Device-barrier accounting from the per-node sync coalescers (file
+	// storage only). Barriers is the number of device flushes actually
+	// paid across the cluster — the node-wide fsync count that
+	// coalescing reduces while Fsyncs (per-file) stays put. MeanWidth is
+	// how many group flushes the average barrier covered (Requests /
+	// Barriers; 1.0 when nothing coalesced or PerGroupFsync is set).
+	Barriers      int64
+	BarriersPerOp float64
+	MeanWidth     float64
+	PerShardOps   []int // completed ops attributed to each shard
 	// Leader placement at window end: which node led each shard, how
 	// many distinct nodes led at least one, and how many rebalance
 	// campaigns the placement watcher issued.
@@ -130,7 +156,7 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 		dir = d
 	}
 
-	nw := netsim.New(cfg.Nodes, netsim.WithSeed(cfg.Seed))
+	nw := netsim.New(cfg.Nodes, netsim.WithSeed(cfg.Seed), netsim.WithRecorder(cfg.Recorder))
 	rng := sim.NewRNG(cfg.Seed)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -177,6 +203,9 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 		Metrics:           cfg.Metrics,
 		ShardMetrics:      cfg.ShardMetrics,
 		SyncPipeline:      cfg.SyncPipeline,
+		DeviceLatency:     cfg.DeviceLatency,
+		PerGroupFsync:     cfg.PerGroupFsync,
+		Recorder:          cfg.Recorder,
 	})
 	if err != nil {
 		return MultiShardResult{}, err
@@ -253,6 +282,13 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 	var startSyncs int64
 	for _, fs := range files {
 		startSyncs += fs.Syncs()
+	}
+	var startBarriers, startRequests int64
+	for n := 0; n < cfg.Nodes; n++ {
+		if sc := cluster.Syncer(n); sc != nil {
+			startBarriers += sc.Barriers()
+			startRequests += sc.Requests()
+		}
 	}
 
 	clients := cfg.ClientsPerShard * cfg.Shards
@@ -332,8 +368,21 @@ func RunMultiShard(cfg MultiShardConfig) (MultiShardResult, error) {
 		res.Fsyncs += fs.Syncs()
 	}
 	res.Fsyncs -= startSyncs
+	var requests int64
+	for n := 0; n < cfg.Nodes; n++ {
+		if sc := cluster.Syncer(n); sc != nil {
+			res.Barriers += sc.Barriers()
+			requests += sc.Requests()
+		}
+	}
+	res.Barriers -= startBarriers
+	requests -= startRequests
 	if res.Ops > 0 {
 		res.FsyncsPerOp = float64(res.Fsyncs) / float64(res.Ops)
+		res.BarriersPerOp = float64(res.Barriers) / float64(res.Ops)
+	}
+	if res.Barriers > 0 {
+		res.MeanWidth = float64(requests) / float64(res.Barriers)
 	}
 	return res, nil
 }

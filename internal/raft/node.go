@@ -128,6 +128,16 @@ type Config struct {
 	// and snapshot traffic are recorded into its bounded ring, and
 	// elections trigger a dump (rtrace.Flight).
 	Flight *rtrace.Flight
+	// Syncer, if non-nil, is the node-wide sync coalescer this replica's
+	// Storage should park its durability barriers on (see syncer.go).
+	// One Syncer is shared by every Raft group co-located on a node, so
+	// concurrent flushes from different groups merge into one device
+	// barrier. It is wired into any Storage exposing
+	// SetSyncer(*SyncCoalescer) — FileStorage does; wrappers that don't
+	// forward it (SlowDisk) leave the barrier private. durableIndex
+	// semantics are unchanged: a group's self-ack still waits for the
+	// barrier that covers its own writes.
+	Syncer *SyncCoalescer
 }
 
 func (c *Config) normalize() error {
@@ -326,6 +336,11 @@ func NewNode(cfg Config) (*Node, error) {
 		done:       make(chan struct{}),
 	}
 	var bootSnapData []byte
+	if cfg.Syncer != nil && cfg.Storage != nil {
+		if ss, ok := cfg.Storage.(interface{ SetSyncer(*SyncCoalescer) }); ok {
+			ss.SetSyncer(cfg.Syncer)
+		}
+	}
 	if cfg.Storage != nil {
 		st, err := cfg.Storage.Load()
 		if err != nil {
@@ -437,11 +452,13 @@ func (nd *Node) flushPersist() {
 		if len(nd.tracedUnsynced) > 0 {
 			// The group-committed batch shares one fsync; every traced op in
 			// it is attributed the full flush interval (they really did each
-			// wait that long).
+			// wait that long). The width records whether other groups shared
+			// the covering device barrier too (sync coalescing).
 			t1 := time.Now()
+			width := barrierWidth(nd.cfg.Storage)
 			for _, idx := range nd.tracedUnsynced {
 				if op, ok := nd.traced[idx]; ok {
-					nd.cfg.Tracer.ObservePhase(op.id, rtrace.PhaseFsync, nd.cfg.ID, t0, t1)
+					nd.cfg.Tracer.ObserveFsync(op.id, nd.cfg.ID, t0, t1, width)
 					op.synced = t1
 				}
 			}

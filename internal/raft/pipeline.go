@@ -312,10 +312,13 @@ func (nd *Node) doPersistRun(reqs []persistReq) persistDone {
 		if len(traced) > 0 {
 			// One group-committed fsync; every traced op in the run
 			// waited the full interval. Stamped here, it overlaps the
-			// network phase the main loop opened at broadcast time.
+			// network phase the main loop opened at broadcast time. The
+			// width marks whether the interval was a shared cross-group
+			// barrier (sync coalescing) rather than a private fsync.
 			t1 := time.Now()
+			width := barrierWidth(st)
 			for _, id := range traced {
-				nd.cfg.Tracer.ObservePhase(id, rtrace.PhaseFsync, nd.cfg.ID, t0, t1)
+				nd.cfg.Tracer.ObserveFsync(id, nd.cfg.ID, t0, t1, width)
 			}
 		}
 		muts, traced = muts[:0], traced[:0]

@@ -238,6 +238,15 @@ type FileStorage struct {
 	w       *bufio.Writer
 	scratch []byte
 	syncs   atomic.Int64
+
+	// syncer, when set (SetSyncer), routes every durability barrier
+	// through the node's SyncCoalescer instead of a private f.Sync, so
+	// one device barrier can cover several groups' flushes. lastWidth
+	// remembers the width of the barrier that covered the most recent
+	// flush; it is written and read only by the goroutine that owns this
+	// store's writes (the persist worker), like the rest of the struct.
+	syncer    *SyncCoalescer
+	lastWidth int
 }
 
 var _ Storage = (*FileStorage)(nil)
@@ -264,8 +273,38 @@ func (s *FileStorage) Close() error {
 
 // Syncs reports how many fsyncs this store has issued — the number the
 // throughput harness divides by committed ops to show group-commit
-// amortization.
+// amortization. Per-file fsyncs count here whether they ran inline or
+// under a coalesced barrier; the *device* barrier count lives on the
+// SyncCoalescer.
 func (s *FileStorage) Syncs() int64 { return s.syncs.Load() }
+
+// SetSyncer routes this store's durability barriers through a per-node
+// SyncCoalescer (see syncer.go). Call before the node starts writing;
+// a nil syncer restores the private-fsync path.
+func (s *FileStorage) SetSyncer(sc *SyncCoalescer) { s.syncer = sc }
+
+// SyncDevice implements SyncTarget: the real per-file fsync. Unlike the
+// rest of FileStorage it may be called from the barrier leader's
+// goroutine while the owner is parked on the syncer — os.File.Sync and
+// the counter are both safe for that, and the buffered writer was
+// flushed by the owner before parking.
+func (s *FileStorage) SyncDevice() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("raft: fsync: %w", err)
+	}
+	s.syncs.Add(1)
+	return nil
+}
+
+// LastBarrierWidth reports how many groups shared the durability barrier
+// that covered this store's most recent flush (1 when it flew alone or
+// no syncer is wired). Read it from the goroutine that issued the flush.
+func (s *FileStorage) LastBarrierWidth() int {
+	if s.lastWidth < 1 {
+		return 1
+	}
+	return s.lastWidth
+}
 
 // encodeRecord appends one framed record to the buffered writer without
 // flushing. The payload — [version][kind][varint fields] — is built in
@@ -348,16 +387,21 @@ func decodeRecord(payload []byte, dec *EntryDecoder) (record, error) {
 }
 
 // flush pushes buffered frames to the kernel and issues the durability
-// barrier — exactly one Sync however many records were encoded.
+// barrier — exactly one Sync however many records were encoded. With a
+// syncer wired, the barrier is the node-wide coalesced one: the write
+// buffer drains here (owner goroutine), then the syncer fsyncs this
+// file under whichever shared barrier covers it.
 func (s *FileStorage) flush() error {
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("raft: persist: %w", err)
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("raft: fsync: %w", err)
+	if s.syncer != nil {
+		width, err := s.syncer.Sync(s)
+		s.lastWidth = width
+		return err
 	}
-	s.syncs.Add(1)
-	return nil
+	s.lastWidth = 1
+	return s.SyncDevice()
 }
 
 func (s *FileStorage) append(r record) error {

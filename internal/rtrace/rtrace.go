@@ -120,6 +120,14 @@ type PhaseInterval struct {
 	Node  int       `json:"node"`
 	Start time.Time `json:"start"`
 	End   time.Time `json:"end"`
+	// Width, on a fsync interval, is how many groups' durability
+	// requests shared the device barrier that covered it (PR10 sync
+	// coalescing): the interval is the *covering barrier*, so a width
+	// above 1 means other groups' writes rode the same flush and the
+	// request did not pay the whole interval alone — the shared-barrier
+	// analogue of the pipelined fsync/network overlap. 0 or 1 means the
+	// barrier was private (or the field predates coalescing).
+	Width int `json:"width,omitempty"`
 }
 
 // Duration is the interval's length.
@@ -344,12 +352,28 @@ func (t *Tracer) lookup(id ID, node int) *span {
 // executed on node. ID 0, a nil tracer, and zero times all discard, so
 // call sites stay unconditional.
 func (t *Tracer) ObservePhase(id ID, p Phase, node int, start, end time.Time) {
+	t.observe(id, p, node, start, end, 0)
+}
+
+// ObserveFsync attributes a fsync interval that also records the width
+// of the device barrier that covered it — how many groups' requests
+// shared the flush (see PhaseInterval.Width). Width values below 2 are
+// recorded as 0 (private barrier), keeping pre-coalescing span JSON
+// byte-identical.
+func (t *Tracer) ObserveFsync(id ID, node int, start, end time.Time, width int) {
+	if width < 2 {
+		width = 0
+	}
+	t.observe(id, PhaseFsync, node, start, end, width)
+}
+
+func (t *Tracer) observe(id ID, p Phase, node int, start, end time.Time, width int) {
 	if t == nil || id == 0 || start.IsZero() || end.IsZero() || p >= numPhases {
 		return
 	}
 	sp := t.lookup(id, node)
 	sp.mu.Lock()
-	sp.phases = append(sp.phases, PhaseInterval{Phase: p, Node: node, Start: start, End: end})
+	sp.phases = append(sp.phases, PhaseInterval{Phase: p, Node: node, Start: start, End: end, Width: width})
 	sp.mu.Unlock()
 	t.phaseHist[p].Observe(node, end.Sub(start))
 }

@@ -13,6 +13,7 @@ import (
 	"ooc/internal/raft"
 	"ooc/internal/rtrace"
 	"ooc/internal/sim"
+	"ooc/internal/trace"
 )
 
 // Config configures a Cluster.
@@ -51,6 +52,25 @@ type Config struct {
 	// Storage, if non-nil, supplies each (node, shard) replica's
 	// persistence; nil runs every group unpersisted.
 	Storage func(node, shard int) (raft.Storage, error)
+	// PerGroupFsync disables cross-group sync coalescing, restoring the
+	// pre-PR10 baseline where every group's flush pays its own device
+	// barrier (serialized at the shared Disk when DeviceLatency > 0).
+	// The zero value coalesces: each node runs one raft.SyncCoalescer
+	// under all of its groups, so K concurrent group flushes share one
+	// barrier. Only meaningful with Storage set.
+	PerGroupFsync bool
+	// DeviceLatency, when > 0, models each node's shared storage device:
+	// every durability barrier on the node — from any group — pays this
+	// latency through one raft.Disk, and concurrent barriers serialize
+	// there. This is the E18 fixture (one disk per node, not one per
+	// group — contrast raft.SlowDisk). Zero models no device.
+	DeviceLatency time.Duration
+	// Recorder, if non-nil, has every replica's storage emit one trace
+	// note per durability flush ("fsync <channel> entries=E width=W"),
+	// which ooctrace folds into per-shard fsyncs_per_op and
+	// barrier-width columns in the mux-channel table. Only meaningful
+	// with Storage set.
+	Recorder *trace.Recorder
 	// StateMachine supplies each (node, shard) replica's state machine;
 	// nil means a fresh raft.KVStore. The front end requires whatever it
 	// returns to implement raft.KVGetter for reads.
@@ -135,12 +155,13 @@ func newClusterMetrics(reg *metrics.Registry, shards int) *clusterMetrics {
 // front. Build with NewCluster, run with Start, then use the KV surface
 // (Put/Delete/Get) or reach into Group for protocol-level access.
 type Cluster struct {
-	cfg    Config
-	desc   Descriptor
-	n      int
-	muxes  []*msgnet.Mux
-	groups []*Group
-	met    *clusterMetrics
+	cfg     Config
+	desc    Descriptor
+	n       int
+	muxes   []*msgnet.Mux
+	groups  []*Group
+	met     *clusterMetrics
+	syncers []*raft.SyncCoalescer // one per node when Storage is set
 
 	mu      sync.Mutex
 	leader  []int // current leader node per shard; -1 unknown
@@ -236,6 +257,22 @@ func (c *Cluster) Start(ctx context.Context) error {
 		}
 		c.muxes[id] = msgnet.NewMux(ctx, c.cfg.Endpoints[id], opts...)
 	}
+	if c.cfg.Storage != nil {
+		// One syncer per node, shared by all of the node's groups: this
+		// is the whole point of the shard-layer wiring — K groups, one
+		// durability pipeline. Each node also gets its own Disk: devices
+		// are per-node, so barriers on different nodes never serialize
+		// against each other.
+		c.syncers = make([]*raft.SyncCoalescer, c.n)
+		for id := 0; id < c.n; id++ {
+			c.syncers[id] = raft.NewSyncCoalescer(raft.SyncerConfig{
+				Disk:     raft.NewDisk(c.cfg.DeviceLatency),
+				PerGroup: c.cfg.PerGroupFsync,
+				Metrics:  c.cfg.Metrics,
+				Node:     id,
+			})
+		}
+	}
 	for s := range c.groups {
 		g := &Group{
 			Shard: s,
@@ -256,12 +293,17 @@ func (c *Cluster) Start(ctx context.Context) error {
 			}
 			g.sms[id] = sm
 			var store raft.Storage
+			var syncer *raft.SyncCoalescer
 			if c.cfg.Storage != nil {
 				st, err := c.cfg.Storage(id, s)
 				if err != nil {
 					return fmt.Errorf("shard %d node %d storage: %w", s, id, err)
 				}
 				store = st
+				if store != nil && c.cfg.Recorder != nil {
+					store = &noteStorage{inner: store, rec: c.cfg.Recorder, node: id, channel: ChannelName(s)}
+				}
+				syncer = c.syncers[id]
 			}
 			node, err := raft.NewNode(raft.Config{
 				ID:                  id,
@@ -279,6 +321,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 				MaxInflightAppends:  c.cfg.MaxInflightAppends,
 				MaxProposalBatch:    c.cfg.MaxProposalBatch,
 				SyncPipeline:        c.cfg.SyncPipeline,
+				Syncer:              syncer,
 			})
 			if err != nil {
 				return fmt.Errorf("shard %d node %d: %w", s, id, err)
@@ -324,6 +367,16 @@ func (c *Cluster) Wait() {
 	for _, nd := range c.running {
 		<-nd.Done()
 	}
+}
+
+// Syncer returns node id's sync coalescer — the per-node durability
+// pipeline all of the node's groups share. Nil when the cluster runs
+// without Storage (valid after Start).
+func (c *Cluster) Syncer(id int) *raft.SyncCoalescer {
+	if id < len(c.syncers) {
+		return c.syncers[id]
+	}
+	return nil
 }
 
 // flightFor returns node id's flight recorder, nil when none was

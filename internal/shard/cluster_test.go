@@ -60,8 +60,11 @@ const (
 // runSeeded boots nodes×shards, drives ops writes from one sequential
 // client, waits until every replica of every shard has applied all the
 // commands routed to it, and returns each (shard, node) replica's
-// recorded command sequence.
-func runSeeded(t *testing.T, seed uint64, nodes, shards, ops int) [][][]string {
+// recorded command sequence. Optional modifiers adjust the cluster
+// config (storage backend, fsync mode) before boot; the cluster is
+// fully stopped before returning, so modifier-owned resources (files)
+// are safe to close afterwards.
+func runSeeded(t *testing.T, seed uint64, nodes, shards, ops int, mods ...func(*shard.Config)) [][][]string {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -70,7 +73,7 @@ func runSeeded(t *testing.T, seed uint64, nodes, shards, ops int) [][][]string {
 	for s := range sms {
 		sms[s] = make([]*recordingSM, nodes)
 	}
-	c, err := shard.NewCluster(shard.Config{
+	cfg := shard.Config{
 		Endpoints:         endpoints(nw, nodes),
 		Shards:            shards,
 		RNG:               sim.NewRNG(seed),
@@ -84,7 +87,11 @@ func runSeeded(t *testing.T, seed uint64, nodes, shards, ops int) [][][]string {
 			sms[s][node] = &recordingSM{}
 			return sms[s][node]
 		},
-	})
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	c, err := shard.NewCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,6 +135,44 @@ func runSeeded(t *testing.T, seed uint64, nodes, shards, ops int) [][][]string {
 			out[s][id] = sms[s][id].Ops()
 		}
 	}
+	cancel()
+	c.Wait()
+	return out
+}
+
+// runSeededDisk is runSeeded on FileStorage: every (node, shard) replica
+// persists to its own log under a temp dir, and perGroup selects the
+// fsync mode — false routes every flush through the node's shared
+// SyncCoalescer (PR10), true keeps the uncoalesced baseline.
+func runSeededDisk(t *testing.T, seed uint64, nodes, shards, ops int, perGroup bool) [][][]string {
+	t.Helper()
+	dir := t.TempDir()
+	var (
+		filesMu sync.Mutex
+		files   []*raft.FileStorage
+	)
+	out := runSeeded(t, seed, nodes, shards, ops, func(cfg *shard.Config) {
+		cfg.PerGroupFsync = perGroup
+		cfg.Storage = func(node, s int) (raft.Storage, error) {
+			fs, err := raft.OpenFileStorage(fmt.Sprintf("%s/node-%d-shard-%d.log", dir, node, s))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fs.Load(); err != nil {
+				_ = fs.Close()
+				return nil, err
+			}
+			filesMu.Lock()
+			files = append(files, fs)
+			filesMu.Unlock()
+			return fs, nil
+		}
+	})
+	filesMu.Lock()
+	defer filesMu.Unlock()
+	for _, fs := range files {
+		_ = fs.Close()
+	}
 	return out
 }
 
@@ -149,6 +194,32 @@ func TestClusterDeterministicCommitSequences(t *testing.T) {
 			t.Fatalf("shard %d commit sequence differs across same-seed runs:\nA: %v\nB: %v", s, a[s][0], b[s][0])
 		}
 		if len(a[s][0]) == 0 {
+			t.Fatalf("shard %d committed nothing; router is funnelling", s)
+		}
+	}
+}
+
+// TestClusterCoalescedFsyncDeterminism extends the determinism check to
+// the shared-disk group-commit path (PR10): with every replica on
+// FileStorage, a seed must yield identical per-shard commit sequences
+// whether the node's flushes ride coalesced device barriers or the
+// per-group baseline — barrier timing may move fsyncs between batches,
+// but it must never reorder a shard's committed commands.
+func TestClusterCoalescedFsyncDeterminism(t *testing.T) {
+	const nodes, shards, ops = 3, 4, 80
+	coalesced := runSeededDisk(t, 42, nodes, shards, ops, false)
+	baseline := runSeededDisk(t, 42, nodes, shards, ops, true)
+	for s := 0; s < shards; s++ {
+		for id := 1; id < nodes; id++ {
+			if !reflect.DeepEqual(coalesced[s][0], coalesced[s][id]) {
+				t.Fatalf("coalesced run shard %d: node %d diverged from node 0", s, id)
+			}
+		}
+		if !reflect.DeepEqual(coalesced[s][0], baseline[s][0]) {
+			t.Fatalf("shard %d commit sequence differs between fsync modes:\ncoalesced: %v\nper-group: %v",
+				s, coalesced[s][0], baseline[s][0])
+		}
+		if len(coalesced[s][0]) == 0 {
 			t.Fatalf("shard %d committed nothing; router is funnelling", s)
 		}
 	}
